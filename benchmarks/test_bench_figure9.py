@@ -1,0 +1,36 @@
+"""Figure 9: SSSP -- KickStarter vs GraphBolt vs Differential Dataflow.
+
+Paper claims: KickStarter, specialised for monotonic path algorithms
+with O(V) dependency trees, outperforms GraphBolt on SSSP (GraphBolt
+pays for per-iteration dependency tracking and min re-evaluation);
+with additions only, both engines process updates efficiently; the
+generic dataflow engine trails the graph engines.
+"""
+
+from repro.bench.experiments import experiment_figure9
+from repro.bench.reporting import save_results
+
+
+def test_figure9_kickstarter_comparison(run_experiment):
+    payload = run_experiment(experiment_figure9)
+    save_results("figure9", payload)
+
+    # Edge computations are deterministic, so the paper's "KickStarter
+    # performs far fewer edge computations" claim is asserted on them
+    # (the paper measures 14x); wall-clock is recorded in the payload.
+    for panel, edges in payload["edges"].items():
+        kick_total = sum(edges["KickStarter"])
+        bolt_total = sum(edges["GraphBolt"])
+        assert kick_total * 2 < bolt_total, (panel, kick_total, bolt_total)
+
+    for panel, series in payload["series"].items():
+        if "DifferentialDataflow" in series:
+            kick_seconds = sum(series["KickStarter"])
+            dd_seconds = sum(series["DifferentialDataflow"])
+            assert kick_seconds < dd_seconds, panel
+
+    # Additions-only avoids min re-evaluation, so GraphBolt gets closer
+    # to (or cheaper than) its mixed-stream cost.
+    mixed = sum(payload["edges"]["adds+dels"]["GraphBolt"])
+    adds = sum(payload["edges"]["adds-only"]["GraphBolt"])
+    assert adds <= mixed * 1.5

@@ -1,0 +1,75 @@
+"""Microbenchmarks of the substrate primitives.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+of the hot paths every experiment sits on: CSR construction, batch
+structure adjustment (the paper's two-pass scheme, section 4.1),
+frontier edge gathering, one delta iteration, and one refinement pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LabelPropagation, PageRank
+from repro.bench.workloads import uniform_batch
+from repro.core.engine import GraphBoltEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+from repro.graph.mutable import StreamingGraph
+from repro.ligra.delta import DeltaEngine
+from repro.ligra.frontier import VertexSubset
+from repro.ligra.interface import edge_map
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(scale=12, edge_factor=12, seed=1, weighted=True)
+
+
+def test_micro_csr_construction(benchmark, graph):
+    src, dst, weight = graph.all_edges()
+    benchmark(CSRGraph, graph.num_vertices, src, dst, weight)
+
+
+def test_micro_structure_adjustment(benchmark, graph):
+    batch = uniform_batch(graph, 100, seed=2)
+
+    def adjust():
+        StreamingGraph(graph).apply_batch(batch)
+
+    benchmark(adjust)
+
+
+def test_micro_edge_map_gather(benchmark, graph):
+    rng = np.random.default_rng(3)
+    frontier = VertexSubset.from_ids(
+        graph.num_vertices,
+        rng.choice(graph.num_vertices, size=graph.num_vertices // 20,
+                   replace=False),
+    )
+    benchmark(edge_map, graph, frontier)
+
+
+def test_micro_delta_iteration(benchmark, graph):
+    engine = DeltaEngine(PageRank())
+    state = engine.initial_state(graph)
+    engine.step(graph, state)
+
+    def one_step():
+        engine.step(graph, state.copy())
+
+    benchmark(one_step)
+
+
+def test_micro_refinement_pass(benchmark, graph):
+    engine = GraphBoltEngine(LabelPropagation(num_labels=3, seed_every=3,
+                                              tolerance=1e-3),
+                             num_iterations=10)
+    engine.run(graph)
+    counter = iter(range(10_000))
+
+    def apply_once():
+        engine.apply_mutations(
+            uniform_batch(engine.graph, 10, seed=next(counter))
+        )
+
+    benchmark.pedantic(apply_once, rounds=5, iterations=1)

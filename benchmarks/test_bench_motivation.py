@@ -1,0 +1,32 @@
+"""Motivation experiment: tag-based correction resets the majority.
+
+Paper claim (sections 1/2.2, citing KickStarter): the straightforward
+alternative to dependency-driven refinement -- tag everything downstream
+of a mutation and recompute it -- "ends up tagging majority of vertex
+values to be thrown out", even for tiny mutations.
+"""
+
+from repro.bench.experiments import experiment_motivation_tagging
+from repro.bench.reporting import save_results
+
+
+def test_motivation_tagging_resets_majority(run_experiment):
+    payload = run_experiment(experiment_motivation_tagging)
+    save_results("motivation_tagging", payload)
+
+    detail = payload["detail"]
+    single_edge = [
+        fraction for key, fraction in detail.items()
+        if key.endswith("|1")
+    ]
+    # Even a single edge mutation taints most of every graph within the
+    # 10-iteration window.
+    assert all(fraction > 0.5 for fraction in single_edge), detail
+    # And tagging is monotone in batch size.
+    for graph in {key.split("|")[0] for key in detail}:
+        sizes = sorted(
+            int(key.split("|")[1])
+            for key in detail if key.startswith(f"{graph}|")
+        )
+        fractions = [detail[f"{graph}|{size}"] for size in sizes]
+        assert fractions == sorted(fractions), (graph, fractions)

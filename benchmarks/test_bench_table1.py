@@ -1,0 +1,23 @@
+"""Table 1: incorrect results from naive reuse of intermediate values.
+
+Paper claim: reusing converged LP values directly on the mutated graph
+leaves many vertices with >=1% relative error, and the error compounds
+across subsequent batches.
+"""
+
+from repro.bench.experiments import experiment_table1
+from repro.bench.reporting import save_results
+
+
+def test_table1_naive_reuse_errors(run_experiment):
+    payload = run_experiment(experiment_table1)
+    save_results("table1", payload)
+
+    over_1 = payload["over_1_percent"]
+    over_10 = payload["over_10_percent"]
+    # A significant share of vertices is wrong from the very first batch.
+    assert over_1[0] > payload["num_vertices"] * 0.05
+    # The paper's compounding effect: later batches are no better than
+    # the first, and the >=1% census grows over the stream.
+    assert over_1[-1] >= over_1[0]
+    assert max(over_10) > 0

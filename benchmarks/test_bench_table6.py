@@ -1,0 +1,28 @@
+"""Table 6: core scaling on the YH stand-in (work/span projection).
+
+Paper claim: increasing cores from 32 to 96 reduces everyone's time,
+but GraphBolt's *speedup over GB-Reset shrinks*, because GB-Reset has
+far more parallelisable work while GraphBolt's small refinement is
+span-bound.  (Projection model documented in DESIGN.md.)
+"""
+
+from repro.bench.experiments import experiment_table6
+from repro.bench.reporting import save_results
+
+
+def test_table6_core_scaling(run_experiment):
+    payload = run_experiment(
+        experiment_table6, algorithms=["PR", "LP", "BP"]
+    )
+    save_results("table6", payload)
+
+    detail = payload["detail"]
+    for algo in ("PR", "LP", "BP"):
+        at32 = detail[f"{algo}|32"]
+        at96 = detail[f"{algo}|96"]
+        # More cores help every engine...
+        for engine in ("Ligra", "GB-Reset", "GraphBolt"):
+            assert at96["projected"][engine] <= at32["projected"][engine]
+        # ...but GraphBolt's relative advantage shrinks (or at best
+        # stays flat) as parallelism grows.
+        assert at96["x_gbreset"] <= at32["x_gbreset"] * 1.05, algo

@@ -1,0 +1,27 @@
+"""Table 7: edge computations on the YH stand-in.
+
+Paper claim: on the largest graph GraphBolt performs a small fraction
+of GB-Reset's edge computations, and the fraction grows with the
+mutation batch size.
+"""
+
+from repro.bench.experiments import experiment_table7
+from repro.bench.reporting import save_results
+
+
+def test_table7_yh_edge_computations(run_experiment):
+    payload = run_experiment(
+        experiment_table7, algorithms=["PR", "LP", "CoEM"]
+    )
+    save_results("table7", payload)
+
+    detail = payload["detail"]
+    for algo in ("PR", "LP", "CoEM"):
+        percents = [
+            detail[f"{algo}|{batch}"]["percent"] for batch in (10, 100, 1000)
+        ]
+        # Never more work than GB-Reset; more mutations -> more work.
+        assert all(p <= 100.001 for p in percents), (algo, percents)
+        assert percents[0] <= percents[-1] * 1.05, (algo, percents)
+    # The stabilising algorithms see large savings at small batches.
+    assert detail["LP|10"]["percent"] < 50

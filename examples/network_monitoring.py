@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Network monitoring: shortest paths and triangles on a live topology.
+
+A network operator watches a router topology where links flap (go down
+and come back) continuously.  Two live analyses run side by side:
+
+- **reachability/latency** -- shortest paths from the operations centre,
+  maintained by a KickStarter-style engine (the right tool: SSSP is
+  monotonic, so O(V) dependency trees beat full BSP tracking, paper
+  Figure 9) and cross-checked against GraphBolt's min-aggregation;
+- **redundancy** -- directed triangle counts (a proxy for alternate
+  2-hop routes), maintained incrementally.
+
+Run:  python examples/network_monitoring.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import MutationBatch, SSSP
+from repro.algorithms import IncrementalTriangleCounting
+from repro.core.engine import GraphBoltEngine
+from repro.graph.generators import watts_strogatz
+from repro.kickstarter.engine import KickStarterEngine
+
+OPS_CENTRE = 0
+
+
+def main():
+    print("=== Live network monitoring ===\n")
+    topology = watts_strogatz(2000, neighbors_each_side=3,
+                              rewire_probability=0.1, seed=9,
+                              weighted=True)
+    print(f"topology: {topology.num_vertices} routers, "
+          f"{topology.num_edges} links")
+
+    kick = KickStarterEngine(topology, source=OPS_CENTRE)
+    bolt = GraphBoltEngine(SSSP(source=OPS_CENTRE),
+                           until_convergence=True)
+    bolt.run(topology)
+    triangles = IncrementalTriangleCounting(topology)
+
+    reachable = int(np.isfinite(kick.values).sum())
+    print(f"initially reachable: {reachable} routers, "
+          f"median latency {np.median(kick.values[np.isfinite(kick.values)]):.2f}, "
+          f"{triangles.total} redundancy triangles\n")
+
+    rng = np.random.default_rng(17)
+    for minute in range(1, 6):
+        # Link flaps: a few links fail, a few new links come up.
+        src, dst, _ = kick.graph.all_edges()
+        down = rng.choice(src.size, size=15, replace=False)
+        failures = [(int(src[i]), int(dst[i])) for i in down]
+        recoveries = [
+            (int(rng.integers(0, 2000)), int(rng.integers(0, 2000)))
+            for _ in range(15)
+        ]
+        batch = MutationBatch.from_edges(
+            additions=recoveries, deletions=failures,
+            add_weights=(rng.random(len(recoveries)) + 0.5).tolist(),
+        )
+
+        start = time.perf_counter()
+        kick_values = kick.apply_mutations(batch)
+        kick_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        bolt_values = bolt.apply_mutations(batch)
+        bolt_seconds = time.perf_counter() - start
+
+        triangles.apply_mutations(batch)
+
+        both_inf = np.isinf(kick_values) & np.isinf(bolt_values)
+        agreement = np.allclose(kick_values[~both_inf],
+                                bolt_values[~both_inf])
+        reachable = int(np.isfinite(kick_values).sum())
+        finite = kick_values[np.isfinite(kick_values)]
+        print(f"minute {minute}: {len(batch)} link events | "
+              f"reachable {reachable:4d} | "
+              f"median latency {np.median(finite):5.2f} | "
+              f"triangles {triangles.total:5d} | "
+              f"kickstarter {kick_seconds * 1000:5.1f}ms vs "
+              f"graphbolt {bolt_seconds * 1000:6.1f}ms | "
+              f"engines agree: {agreement}")
+        if not agreement:
+            raise SystemExit("engines diverged!")
+
+    print("\nOK: both engines agreed after every link flap; "
+          "KickStarter's dependency trees made updates cheapest")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Streaming recommendations: incremental ALS over live ratings.
+
+The motivating MLDM scenario from the paper's introduction: a
+recommender whose user-item rating graph changes continuously.  New
+ratings and retracted ratings arrive in batches; GraphBolt's
+generalized incremental programming model keeps the latent factors
+consistent with exact BSP retraining after every batch -- the complex
+pair-aggregation <sum c c^T, sum c w> is decomposed and refined
+incrementally (paper section 3.3).
+
+Run:  python examples/streaming_recommendations.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import CollaborativeFiltering, GraphBoltEngine, MutationBatch
+from repro.graph.generators import bipartite_graph
+from repro.ligra.engine import LigraEngine
+
+NUM_USERS = 400
+NUM_ITEMS = 150
+ITERATIONS = 10
+
+
+def predict(values, user, item):
+    return float(values[user] @ values[NUM_USERS + item])
+
+
+def top_items(values, user, k=3):
+    scores = values[NUM_USERS:] @ values[user]
+    return np.argsort(scores)[::-1][:k]
+
+
+def main():
+    print("=== Streaming recommendations with incremental ALS ===\n")
+    graph = bipartite_graph(NUM_USERS, NUM_ITEMS, edges_per_user=8, seed=3)
+    print(f"{NUM_USERS} users x {NUM_ITEMS} items, "
+          f"{graph.num_edges // 2} ratings")
+
+    algorithm = CollaborativeFiltering(num_factors=6, regulariser=0.4,
+                                       tolerance=1e-6)
+    engine = GraphBoltEngine(algorithm, num_iterations=ITERATIONS)
+    start = time.perf_counter()
+    values = engine.run(graph)
+    print(f"initial training: {time.perf_counter() - start:.2f}s")
+
+    user = 7
+    print(f"user {user} initial top items: "
+          f"{top_items(values, user).tolist()}\n")
+
+    rng = np.random.default_rng(11)
+    for day in range(1, 4):
+        # Each "day": some users rate new items, some retract ratings.
+        new_ratings = []
+        weights = []
+        for _ in range(25):
+            u = int(rng.integers(0, NUM_USERS))
+            i = int(rng.integers(0, NUM_ITEMS))
+            rating = float(rng.integers(1, 6))
+            # Ratings are symmetric edges (user<->item), as in training.
+            new_ratings.extend([(u, NUM_USERS + i), (NUM_USERS + i, u)])
+            weights.extend([rating, rating])
+        retracted = []
+        src, dst, _ = engine.graph.all_edges()
+        for index in rng.choice(src.size, size=10, replace=False):
+            retracted.append((int(src[index]), int(dst[index])))
+            retracted.append((int(dst[index]), int(src[index])))
+
+        batch = MutationBatch.from_edges(additions=new_ratings,
+                                         deletions=retracted,
+                                         add_weights=weights)
+        before = engine.metrics.snapshot()
+        start = time.perf_counter()
+        values = engine.apply_mutations(batch)
+        elapsed = time.perf_counter() - start
+        edges = engine.metrics.delta_since(before).edge_computations
+
+        truth = LigraEngine(
+            CollaborativeFiltering(num_factors=6, regulariser=0.4,
+                                   tolerance=1e-6)
+        ).run(engine.graph, ITERATIONS)
+        drift = float(np.abs(values - truth).max())
+        print(f"day {day}: {len(batch)} rating events -> retrain in "
+              f"{elapsed:.2f}s ({edges} edge computations), "
+              f"BSP-exact to {drift:.1e}")
+        print(f"  user {user} top items now: "
+              f"{top_items(values, user).tolist()}")
+
+    print("\nOK: incremental retraining stayed exact across all days")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""The paper's evaluation algorithms (Table 4) plus SSSP/BFS/CC.
+
+========================  ==============================  ==================
+Algorithm                 Aggregation                     Character
+========================  ==============================  ==================
+PageRank                  sum of c(u)/out_degree(u)       contribution param
+BeliefPropagation         per-state product               complex, product
+LabelPropagation          per-label weighted sum          vector sum
+CoEM                      weighted sum / in-weight        apply param
+CollaborativeFiltering    pair <sum c c^T, sum c w>       complex, decomposed
+TriangleCounting          sum |in(u) ∩ out(v)|            local, single-pass
+SSSP / BFS / CC           min                             non-decomposable
+========================  ==============================  ==================
+"""
+
+from repro.algorithms.adsorption import Adsorption
+from repro.algorithms.belief_propagation import BeliefPropagation
+from repro.algorithms.centrality import (
+    KatzCentrality,
+    PersonalizedPageRank,
+    WeightedPageRank,
+)
+from repro.algorithms.coem import CoEM
+from repro.algorithms.collaborative_filtering import CollaborativeFiltering
+from repro.algorithms.label_propagation import LabelPropagation
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import BFS, ConnectedComponents, SSSP, SSWP
+from repro.algorithms.triangle_counting import (
+    IncrementalTriangleCounting,
+    triangle_counts,
+)
+
+__all__ = [
+    "Adsorption",
+    "BFS",
+    "BeliefPropagation",
+    "KatzCentrality",
+    "PersonalizedPageRank",
+    "WeightedPageRank",
+    "CoEM",
+    "CollaborativeFiltering",
+    "ConnectedComponents",
+    "IncrementalTriangleCounting",
+    "LabelPropagation",
+    "PageRank",
+    "SSSP",
+    "SSWP",
+    "triangle_counts",
+]

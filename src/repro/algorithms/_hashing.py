@@ -1,0 +1,35 @@
+"""Deterministic per-vertex pseudo-randomness.
+
+Seed selection, priors and initial latent vectors must be deterministic
+functions of the vertex *id*, never of the vertex count or insertion
+order: when the streaming graph grows, existing vertices must keep their
+parameters bit-for-bit, otherwise a vertex addition would perturb the
+whole computation and break refinement-versus-from-scratch equivalence.
+
+We use a Knuth/Wang-style integer mix vectorised over id arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hash_ids", "uniform_from_ids"]
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def hash_ids(ids: np.ndarray, salt: int = 0) -> np.ndarray:
+    """64-bit mix of vertex ids; uniform-ish, deterministic, vectorised."""
+    salt_mix = np.uint64((salt * 0x9E3779B97F4A7C15 + 1) & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        x = np.asarray(ids, dtype=np.uint64) + salt_mix
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9) & _MASK64
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB) & _MASK64
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def uniform_from_ids(ids: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Deterministic floats in [0, 1) per vertex id."""
+    return hash_ids(ids, salt).astype(np.float64) / 2.0**64

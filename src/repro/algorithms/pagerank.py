@@ -1,0 +1,56 @@
+"""PageRank in GraphBolt's decomposed form.
+
+Matches Algorithm 1 of the paper::
+
+    g_i(v) = sum_{(u,v) in E} c_{i-1}(u) / out_degree(u)
+    c_i(v) = 0.15 + 0.85 * g_i(v)
+
+The contribution depends on the source's out-degree, a *contribution
+parameter*: a mutation that changes u's out-degree changes u's
+contribution along every retained out-edge even when u's rank is
+unchanged -- exactly why the paper's ``propagateDelta`` (Algorithm 3)
+distinguishes ``oldpr/old_degree`` from ``newpr/new_degree``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.aggregation import SumAggregation
+from repro.core.model import IncrementalAlgorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.mutable import MutationResult
+
+__all__ = ["PageRank"]
+
+
+class PageRank(IncrementalAlgorithm):
+    """Damped PageRank with out-degree-normalised contributions."""
+
+    name = "pagerank"
+    value_shape = ()
+    tolerance = 1e-12
+
+    def __init__(self, damping: float = 0.85,
+                 tolerance: Optional[float] = None) -> None:
+        super().__init__(SumAggregation(), tolerance)
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.damping = damping
+
+    def initial_values(self, graph: CSRGraph) -> np.ndarray:
+        return np.ones(graph.num_vertices, dtype=np.float64)
+
+    def contributions(self, graph, src_values, src, dst, weight) -> np.ndarray:
+        # Every edge source has out-degree >= 1 in the snapshot the edge
+        # belongs to, so the division is always defined.
+        return src_values / graph.out_degrees()[src]
+
+    def apply(self, graph, aggregate_values, vertices,
+              previous_values: Optional[np.ndarray] = None) -> np.ndarray:
+        return (1.0 - self.damping) + self.damping * aggregate_values
+
+    def contribution_params_changed(self, mutation: MutationResult) -> np.ndarray:
+        return mutation.out_changed_vertices()

@@ -1,0 +1,179 @@
+"""Triangle counting: full recomputation and incremental maintenance.
+
+The paper's TC (Table 4) aggregates ``|in(u) ∩ out(v)|`` over edges,
+which counts each *directed triangle* (3-cycle u→v→w→u) three times --
+once per base edge.  We report per-vertex triangle participation and the
+de-duplicated global triangle count.
+
+TC computes in a single iteration, and the impact of an edge mutation is
+purely local (the mutated edge's endpoints and their common neighbours;
+paper section 5.2).  Incremental maintenance therefore enumerates exactly
+the triangles containing a mutated edge -- new triangles in the new
+snapshot, destroyed triangles in the old snapshot -- and adjusts counts,
+instead of resetting and recomputing two-hop neighbourhoods.  A triangle
+cannot contain both an added and a deleted edge (added edges are absent
+from the old snapshot, deleted ones from the new), so the two
+enumerations are disjoint; triangles containing several added (or
+several deleted) edges are de-duplicated via canonical rotation.
+
+The incremental counter retains the pre-mutation structure to enumerate
+destroyed triangles, which is the source of TC's ~2x memory overhead in
+the paper's Table 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.csr import CSRGraph
+from repro.graph.mutable import MutationResult, StreamingGraph
+from repro.graph.mutation import MutationBatch
+from repro.runtime.metrics import EngineMetrics
+
+__all__ = ["TriangleCounts", "triangle_counts", "IncrementalTriangleCounting"]
+
+
+@dataclass
+class TriangleCounts:
+    """Per-vertex directed-triangle participation and the global count."""
+
+    per_vertex: np.ndarray
+    total: int
+
+    def copy(self) -> "TriangleCounts":
+        return TriangleCounts(self.per_vertex.copy(), self.total)
+
+
+def triangle_counts(graph: CSRGraph,
+                    metrics: Optional[EngineMetrics] = None) -> TriangleCounts:
+    """Count directed triangles from scratch (the restart baseline).
+
+    Uses the sparse-matrix identity: with adjacency A,
+    ``B = (A @ A) ⊙ A^T`` holds at (u, w) the number of triangles
+    u→v→w→u closed by edge (w, u); row sums give per-vertex counts and
+    ``B.sum() / 3`` the global count.
+    """
+    num_vertices = graph.num_vertices
+    src, dst, _ = graph.all_edges()
+    proper = src != dst
+    src, dst = src[proper], dst[proper]  # self-loops form no triangle
+    if metrics is not None:
+        # The per-edge intersection |in(u) ∩ out(v)| over sorted lists
+        # costs in_deg(u) + out_deg(v); charging that for every edge is
+        # the honest work measure of the recompute baseline (the sparse
+        # matrix product performs the equivalent wedge visits).
+        in_deg = graph.in_degrees()
+        out_deg = graph.out_degrees()
+        metrics.count_edges(int((in_deg[src] + out_deg[dst]).sum()))
+    adjacency = sparse.csr_matrix(
+        (np.ones(src.size), (src, dst)), shape=(num_vertices, num_vertices)
+    )
+    closed = (adjacency @ adjacency).multiply(adjacency.T)
+    per_vertex = np.asarray(closed.sum(axis=1)).reshape(-1).astype(np.int64)
+    total_base_counts = int(per_vertex.sum())
+    if total_base_counts % 3 != 0:
+        raise AssertionError("directed triangle count must divide by 3")
+    return TriangleCounts(per_vertex, total_base_counts // 3)
+
+
+def _canonical(u: int, v: int, w: int) -> Tuple[int, int, int]:
+    """Rotation-canonical form of the directed triangle u→v→w→u."""
+    if u <= v and u <= w:
+        return (u, v, w)
+    if v <= u and v <= w:
+        return (v, w, u)
+    return (w, u, v)
+
+
+def _triangles_through_edges(
+    graph: CSRGraph,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+    metrics: Optional[EngineMetrics],
+) -> Set[Tuple[int, int, int]]:
+    """All directed triangles of ``graph`` containing any given edge."""
+    found: Set[Tuple[int, int, int]] = set()
+    for u, v in zip(edge_src.tolist(), edge_dst.tolist()):
+        if u >= graph.num_vertices or v >= graph.num_vertices:
+            continue
+        into_u = graph.in_neighbors(u)
+        from_v = graph.out_neighbors(v)
+        if metrics is not None:
+            metrics.count_edges(into_u.size + from_v.size)
+        for w in np.intersect1d(into_u, from_v, assume_unique=False).tolist():
+            found.add(_canonical(u, v, int(w)))
+    return found
+
+
+class IncrementalTriangleCounting:
+    """Maintains triangle counts across a mutation stream."""
+
+    name = "triangle_counting"
+
+    def __init__(self, graph: CSRGraph,
+                 metrics: Optional[EngineMetrics] = None) -> None:
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+        self._streaming = StreamingGraph(graph)
+        self.counts = triangle_counts(graph, self.metrics)
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self._streaming.graph
+
+    @property
+    def total(self) -> int:
+        return self.counts.total
+
+    @property
+    def per_vertex(self) -> np.ndarray:
+        return self.counts.per_vertex
+
+    # ------------------------------------------------------------------
+    def apply_mutations(self, batch: MutationBatch) -> TriangleCounts:
+        """Apply a batch and incrementally adjust triangle counts."""
+        mutation = self._streaming.apply_batch(batch)
+        self._adjust(mutation)
+        return self.counts
+
+    def _adjust(self, mutation: MutationResult) -> None:
+        new_graph, old_graph = mutation.new_graph, mutation.old_graph
+        if new_graph.num_vertices > self.counts.per_vertex.size:
+            grown = np.zeros(new_graph.num_vertices, dtype=np.int64)
+            grown[: self.counts.per_vertex.size] = self.counts.per_vertex
+            self.counts.per_vertex = grown
+
+        created = _triangles_through_edges(
+            new_graph, mutation.add_src, mutation.add_dst, self.metrics
+        )
+        destroyed = _triangles_through_edges(
+            old_graph, mutation.del_src, mutation.del_dst, self.metrics
+        )
+        for triangle in created:
+            for vertex in triangle:
+                self.counts.per_vertex[vertex] += 1
+        for triangle in destroyed:
+            for vertex in triangle:
+                self.counts.per_vertex[vertex] -= 1
+        self.counts.total += len(created) - len(destroyed)
+
+    # ------------------------------------------------------------------
+    def dependency_bytes(self) -> int:
+        """Extra state retained beyond the baseline (Table 9 accounting):
+        the pre-mutation structure kept for destroyed-triangle
+        enumeration plus the maintained counts."""
+        previous = self._streaming.previous
+        retained = 0
+        if previous is not None:
+            retained += (
+                previous.out_offsets.nbytes
+                + previous.out_targets.nbytes
+                + previous.out_weights.nbytes
+                + previous.in_offsets.nbytes
+                + previous.in_sources.nbytes
+                + previous.in_weights.nbytes
+            )
+        return retained + self.counts.per_vertex.nbytes

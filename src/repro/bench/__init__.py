@@ -1,0 +1,33 @@
+"""Benchmark harness: workloads, streaming runners, reporting.
+
+One experiment driver per paper table/figure lives in
+:mod:`repro.bench.experiments`; ``benchmarks/bench_*.py`` are the
+pytest-benchmark entry points, and ``python -m repro.bench`` regenerates
+every experiment's data for EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import (
+    DeltaRunner,
+    GraphBoltRunner,
+    LigraRunner,
+    StreamingRunner,
+    run_stream,
+)
+from repro.bench.workloads import (
+    mixed_stream,
+    split_initial_graph,
+    targeted_batch,
+    uniform_batch,
+)
+
+__all__ = [
+    "DeltaRunner",
+    "GraphBoltRunner",
+    "LigraRunner",
+    "StreamingRunner",
+    "mixed_stream",
+    "run_stream",
+    "split_initial_graph",
+    "targeted_batch",
+    "uniform_batch",
+]

@@ -1,0 +1,55 @@
+"""Regenerate every experiment: ``python -m repro.bench [names...]``.
+
+Runs each experiment driver, prints its paper-style table, and stores
+the JSON payload under ``benchmarks/results/`` (consumed when updating
+EXPERIMENTS.md).  With no arguments all experiments run; otherwise pass
+experiment names (e.g. ``table5 figure8``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import experiments as exp
+from repro.bench.reporting import save_results
+
+EXPERIMENTS = {
+    "table1": exp.experiment_table1,
+    "figure4": exp.experiment_figure4,
+    "table5": exp.experiment_table5,
+    "table6": exp.experiment_table6,
+    "table7": exp.experiment_table7,
+    "figure7": exp.experiment_figure7,
+    "table8": exp.experiment_table8,
+    "figure8": exp.experiment_figure8,
+    "figure9": exp.experiment_figure9,
+    "table9": exp.experiment_table9,
+    "motivation_tagging": exp.experiment_motivation_tagging,
+    "ablation_pruning": exp.experiment_ablation_pruning,
+    "ablation_dense_mode": exp.experiment_ablation_dense_mode,
+    "ablation_structure": exp.experiment_ablation_structure,
+    "ablation_tagreset": exp.experiment_ablation_tagreset,
+}
+
+
+def main(argv) -> int:
+    names = argv[1:] if len(argv) > 1 else list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from "
+              f"{sorted(EXPERIMENTS)}")
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        payload = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        path = save_results(name, payload)
+        print(exp.render_table(payload))
+        print(f"[{name}: {elapsed:.1f}s -> {path}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,174 @@
+"""Mutation workload generators.
+
+Reproduces the paper's evaluation methodology (section 5.1): "we
+obtained an initial fixed point and streamed in a set of edge insertions
+and deletions ... After 50% of the edges were loaded, the remaining
+edges were treated as edge additions that were streamed in.  Edges to be
+deleted were selected from the loaded graph and deletion requests were
+mixed with addition requests in the update stream."
+
+Also provides the Table 8 Hi/Lo workloads: batches whose mutations
+target high- or low-out-degree vertices so the blast radius of changes
+is maximised or minimised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.mutation import MutationBatch
+from repro.graph.properties import degree_percentile_vertices
+
+__all__ = [
+    "split_initial_graph",
+    "mixed_stream",
+    "uniform_batch",
+    "targeted_batch",
+]
+
+
+def split_initial_graph(
+    graph: CSRGraph, load_fraction: float = 0.5, seed: int = 0
+) -> Tuple[CSRGraph, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a full graph into a loaded prefix and pending additions.
+
+    Returns ``(initial_graph, pending_src, pending_dst, pending_weight)``
+    where the initial graph holds ``load_fraction`` of the edges and the
+    rest are returned as the future addition stream, shuffled.
+    """
+    if not 0.0 < load_fraction <= 1.0:
+        raise ValueError("load_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    src, dst, weight = graph.all_edges()
+    order = rng.permutation(src.size)
+    cut = int(src.size * load_fraction)
+    loaded = order[:cut]
+    pending = order[cut:]
+    initial = CSRGraph(
+        graph.num_vertices, src[loaded], dst[loaded], weight[loaded]
+    )
+    return initial, src[pending], dst[pending], weight[pending]
+
+
+def mixed_stream(
+    graph: CSRGraph,
+    num_batches: int,
+    batch_size: int,
+    load_fraction: float = 0.5,
+    delete_fraction: float = 0.3,
+    seed: int = 0,
+) -> Tuple[CSRGraph, List[MutationBatch]]:
+    """The paper's update stream: additions from the unloaded remainder
+    mixed with deletions of currently-loaded edges.
+
+    Returns ``(initial_graph, batches)``.  Deletions are sampled from the
+    loaded edge set as it evolves (an edge added by an earlier batch can
+    be deleted by a later one); each batch holds ``batch_size`` mutations
+    with ``delete_fraction`` of them deletions (subject to availability
+    of pending additions).
+    """
+    rng = np.random.default_rng(seed)
+    initial, pend_src, pend_dst, pend_weight = split_initial_graph(
+        graph, load_fraction, seed
+    )
+    live = {
+        (int(u), int(v)): float(w)
+        for u, v, w in zip(*initial.all_edges())
+    }
+    batches: List[MutationBatch] = []
+    cursor = 0
+    for _ in range(num_batches):
+        num_deletes = int(batch_size * delete_fraction)
+        num_adds = batch_size - num_deletes
+        adds = []
+        add_weights = []
+        while num_adds > 0 and cursor < pend_src.size:
+            edge = (int(pend_src[cursor]), int(pend_dst[cursor]))
+            weight = float(pend_weight[cursor])
+            cursor += 1
+            if edge in live:
+                continue
+            adds.append(edge)
+            add_weights.append(weight)
+            num_adds -= 1
+        live_edges = list(live.keys())
+        num_deletes = min(num_deletes, len(live_edges))
+        delete_idx = rng.choice(len(live_edges), size=num_deletes,
+                                replace=False)
+        deletes = [live_edges[i] for i in delete_idx]
+        for edge, weight in zip(adds, add_weights):
+            live[edge] = weight
+        for edge in deletes:
+            del live[edge]
+        batches.append(
+            MutationBatch.from_edges(
+                additions=adds, deletions=deletes, add_weights=add_weights
+            )
+        )
+    return initial, batches
+
+
+def uniform_batch(graph: CSRGraph, batch_size: int,
+                  delete_fraction: float = 0.3,
+                  seed: int = 0) -> MutationBatch:
+    """A single batch of uniformly random additions and deletions."""
+    rng = np.random.default_rng(seed)
+    num_deletes = int(batch_size * delete_fraction)
+    num_adds = batch_size - num_deletes
+    num_vertices = graph.num_vertices
+    adds = list(
+        zip(
+            rng.integers(0, num_vertices, size=num_adds).tolist(),
+            rng.integers(0, num_vertices, size=num_adds).tolist(),
+        )
+    )
+    src, dst, _ = graph.all_edges()
+    num_deletes = min(num_deletes, src.size)
+    idx = rng.choice(src.size, size=num_deletes, replace=False)
+    deletes = list(zip(src[idx].tolist(), dst[idx].tolist()))
+    weights = (rng.random(len(adds)) + 0.5).tolist()
+    return MutationBatch.from_edges(additions=adds, deletions=deletes,
+                                    add_weights=weights)
+
+
+def targeted_batch(graph: CSRGraph, batch_size: int, workload: str,
+                   delete_fraction: float = 0.3,
+                   seed: int = 0) -> MutationBatch:
+    """A Hi or Lo workload batch (paper Table 8).
+
+    The paper's Hi workload makes "mutations impact vertices with high
+    outgoing degree (so that changes affect more vertices)": the vertex
+    whose aggregation a mutation perturbs is the edge's *destination*,
+    and its out-degree determines how widely the perturbation fans out
+    in the next iteration.  So ``'hi'`` targets mutation destinations in
+    the top out-degree percentile (additions point at them, deletions
+    remove their in-edges), and ``'lo'`` targets the bottom band.
+    """
+    if workload not in ("hi", "lo"):
+        raise ValueError("workload must be 'hi' or 'lo'")
+    band = (0.99, 1.0) if workload == "hi" else (0.0, 0.3)
+    rng = np.random.default_rng(seed)
+    targets = degree_percentile_vertices(graph, *band, use_out=True)
+    if targets.size == 0:
+        raise ValueError("graph has no vertices with out-edges")
+    num_deletes = int(batch_size * delete_fraction)
+    num_adds = batch_size - num_deletes
+
+    add_dst = rng.choice(targets, size=num_adds)
+    add_src = rng.integers(0, graph.num_vertices, size=num_adds)
+    adds = list(zip(add_src.tolist(), add_dst.tolist()))
+
+    deletes = []
+    delete_targets = rng.choice(targets, size=num_deletes)
+    for v in delete_targets.tolist():
+        sources = graph.in_neighbors(v)
+        if sources.size:
+            deletes.append(
+                (int(sources[rng.integers(0, sources.size)]), v)
+            )
+    weights = (rng.random(len(adds)) + 0.5).tolist()
+    return MutationBatch.from_edges(additions=adds, deletions=deletes,
+                                    add_weights=weights)

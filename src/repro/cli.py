@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``   print statistics for a graph spec.
+``run``    stream mutation batches through an engine and report
+           per-batch latency/work (optionally validating every batch
+           against from-scratch execution).
+``bench``  alias for ``python -m repro.bench`` (paper experiments).
+
+Graph specs
+-----------
+``rmat:<scale>[:edge_factor]``, ``ws:<vertices>[:neighbors]``,
+``er:<vertices>:<edges>``, ``paper:<WK|UK|TW|TT|FT|YH>``, or
+``file:<path>`` (edge-list text or ``.npz``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.algorithms import (
+    Adsorption,
+    BFS,
+    BeliefPropagation,
+    CoEM,
+    CollaborativeFiltering,
+    ConnectedComponents,
+    KatzCentrality,
+    LabelPropagation,
+    PageRank,
+    PersonalizedPageRank,
+    SSSP,
+    SSWP,
+    WeightedPageRank,
+)
+from repro.bench.harness import DeltaRunner, GraphBoltRunner, LigraRunner
+from repro.bench.reporting import format_table
+from repro.bench.workloads import uniform_batch
+from repro.graph import generators, io
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import graph_stats
+from repro.ligra.engine import LigraEngine
+
+__all__ = ["main"]
+
+ALGORITHMS: Dict[str, Callable] = {
+    "pagerank": lambda: PageRank(tolerance=1e-9),
+    "weighted-pagerank": lambda: WeightedPageRank(tolerance=1e-9),
+    "personalized-pagerank": lambda: PersonalizedPageRank(tolerance=1e-9),
+    "katz": lambda: KatzCentrality(tolerance=1e-9),
+    "label-propagation": lambda: LabelPropagation(tolerance=1e-9),
+    "adsorption": lambda: Adsorption(tolerance=1e-9),
+    "coem": lambda: CoEM(tolerance=1e-9),
+    "belief-propagation": lambda: BeliefPropagation(tolerance=1e-9),
+    "collaborative-filtering": lambda: CollaborativeFiltering(
+        tolerance=1e-9
+    ),
+    "sssp": lambda: SSSP(source=0),
+    "sswp": lambda: SSWP(source=0),
+    "bfs": lambda: BFS(source=0),
+    "connected-components": lambda: ConnectedComponents(),
+}
+
+ENGINES = {
+    "graphbolt": GraphBoltRunner,
+    "gbreset": DeltaRunner,
+    "ligra": LigraRunner,
+}
+
+
+def parse_graph(spec: str, weighted: bool = True) -> CSRGraph:
+    """Build a graph from a command-line spec (see module docstring)."""
+    kind, _, rest = spec.partition(":")
+    parts = rest.split(":") if rest else []
+    if kind == "rmat":
+        scale = int(parts[0]) if parts else 10
+        edge_factor = int(parts[1]) if len(parts) > 1 else 8
+        return generators.rmat(scale, edge_factor, seed=1,
+                               weighted=weighted)
+    if kind == "ws":
+        vertices = int(parts[0]) if parts else 1000
+        neighbors = int(parts[1]) if len(parts) > 1 else 4
+        return generators.watts_strogatz(vertices, neighbors, seed=1,
+                                         weighted=weighted)
+    if kind == "er":
+        if len(parts) < 2:
+            raise ValueError("er spec needs er:<vertices>:<edges>")
+        return generators.erdos_renyi(int(parts[0]), int(parts[1]),
+                                      seed=1, weighted=weighted)
+    if kind == "paper":
+        if not parts:
+            raise ValueError("paper spec needs paper:<name>")
+        return generators.paper_graph(parts[0], weighted=weighted)
+    if kind == "file":
+        if not parts:
+            raise ValueError("file spec needs file:<path>")
+        path = ":".join(parts)
+        if path.endswith(".npz"):
+            return io.load_npz(path)
+        return io.load_edge_list(path)
+    raise ValueError(f"unknown graph spec {spec!r}")
+
+
+def _cmd_info(args) -> int:
+    graph = parse_graph(args.graph)
+    stats = graph_stats(graph)
+    rows = [[key, value] for key, value in stats.as_dict().items()]
+    print(format_table(["property", "value"], rows,
+                       title=f"graph {args.graph}"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph = parse_graph(args.graph)
+    factory = ALGORITHMS[args.algorithm]
+    runner_cls = ENGINES[args.engine]
+    runner = runner_cls(factory, args.iterations)
+    start = time.perf_counter()
+    runner.setup(graph)
+    setup_seconds = time.perf_counter() - start
+    print(f"{args.engine} / {args.algorithm} on {args.graph} "
+          f"(V={graph.num_vertices}, E={graph.num_edges}); "
+          f"initial run {setup_seconds:.3f}s")
+
+    rows: List[List] = []
+    for index in range(args.batches):
+        batch = uniform_batch(runner.graph, args.batch_size,
+                              seed=args.seed + index)
+        before = runner.metrics.snapshot()
+        start = time.perf_counter()
+        values = runner.apply(batch)
+        elapsed = time.perf_counter() - start
+        delta = runner.metrics.delta_since(before)
+        row = [index, len(batch), round(elapsed, 4),
+               delta.edge_computations]
+        if args.validate:
+            truth = LigraEngine(factory()).run(runner.graph,
+                                               args.iterations)
+            filled_actual = np.where(np.isinf(values), -1.0, values)
+            filled_truth = np.where(np.isinf(truth), -1.0, truth)
+            error = float(np.abs(filled_actual - filled_truth).max())
+            row.append(f"{error:.1e}")
+        rows.append(row)
+    headers = ["batch", "mutations", "seconds", "edge_computations"]
+    if args.validate:
+        headers.append("max_error")
+    print(format_table(headers, rows))
+    if args.output:
+        np.savez_compressed(args.output, values=values)
+        print(f"final values -> {args.output}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(["repro.bench"] + args.experiments)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphBolt reproduction: streaming graph analytics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print graph statistics")
+    info.add_argument("--graph", default="rmat:10", help="graph spec")
+    info.set_defaults(handler=_cmd_info)
+
+    run = sub.add_parser("run", help="stream mutations through an engine")
+    run.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                     default="pagerank")
+    run.add_argument("--engine", choices=sorted(ENGINES),
+                     default="graphbolt")
+    run.add_argument("--graph", default="rmat:12", help="graph spec")
+    run.add_argument("--iterations", type=int, default=10)
+    run.add_argument("--batches", type=int, default=5)
+    run.add_argument("--batch-size", type=int, default=100)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--validate", action="store_true",
+                     help="check every batch against from-scratch run")
+    run.add_argument("--output", help="write final values to .npz")
+    run.set_defaults(handler=_cmd_run)
+
+    bench = sub.add_parser("bench", help="paper experiment drivers")
+    bench.add_argument("experiments", nargs="*",
+                       help="experiment names (default: all)")
+    bench.set_defaults(handler=_cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""The generalized incremental programming model.
+
+An :class:`IncrementalAlgorithm` expresses a synchronous vertex program
+in the decomposed form GraphBolt needs (paper sections 3.2-3.3)::
+
+    g_i(v) = (+)_{(u,v) in E}  contribution( c_{i-1}(u), u, v, weight )
+    c_i(v) = apply( g_i(v) )                      # optionally also c_{i-1}(v)
+
+From these two hooks plus the aggregation operator the engines derive:
+
+- the full synchronous execution (Ligra baseline),
+- delta/selective-scheduling execution (GB-Reset; the paper's
+  ``propagateDelta``),
+- the dependency-driven refinement operators (``repropagate``,
+  ``retract``, ``propagate`` of the paper's Algorithms 2-3) -- these are
+  *not* written per algorithm; the engine composes them from
+  ``contributions`` and the aggregation's incremental operators.  This is
+  the paper's point that complex aggregations "statically decompose into
+  simple sub-aggregations" whose old contributions can be reproduced
+  on the fly from tracked values (section 3.3, steps 1-2).
+
+Complex aggregations (CF's pair of sums, BP's per-state product) are
+expressed by returning *vector* contributions -- the static decomposition
+into sub-aggregations is a choice of value layout, after which each
+component is a simple aggregation.
+
+All hooks are vectorised over edges/vertices: ``src``/``dst``/``weight``
+are parallel arrays and values are ``(n, *value_shape)`` arrays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation
+from repro.graph.csr import CSRGraph
+from repro.graph.mutable import MutationResult
+
+__all__ = ["IncrementalAlgorithm"]
+
+
+class IncrementalAlgorithm(ABC):
+    """A synchronous vertex program in GraphBolt's decomposed form."""
+
+    #: Human-readable short name (used in reports).
+    name: str = "algorithm"
+
+    #: Shape of a single vertex value; () for scalars, (S,) for vectors,
+    #: etc.  Aggregation values share this shape unless
+    #: :attr:`aggregation_shape` says otherwise.
+    value_shape: Tuple[int, ...] = ()
+
+    #: Absolute tolerance used for *scheduling* decisions (whether a value
+    #: "changed"); exact zero disables selective scheduling savings because
+    #: float replay noise never cancels perfectly.
+    tolerance: float = 1e-12
+
+    #: Default iteration count (the paper runs 10 iterations; 5 on Yahoo).
+    default_iterations: int = 10
+
+    #: True when ``apply`` needs the vertex's own previous value (e.g.
+    #: SSSP's self-min).  The engines then re-apply a vertex whenever its
+    #: own value changed in the previous iteration.
+    uses_previous_value: bool = False
+
+    def __init__(self, aggregation: Aggregation,
+                 tolerance: Optional[float] = None) -> None:
+        self.aggregation = aggregation
+        if tolerance is not None:
+            self.tolerance = tolerance
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+    @property
+    def aggregation_shape(self) -> Tuple[int, ...]:
+        """Shape of one aggregation value (defaults to the value shape)."""
+        return self.value_shape
+
+    # ------------------------------------------------------------------
+    # The vertex program
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def initial_values(self, graph: CSRGraph) -> np.ndarray:
+        """The initial vertex values c_0, shape ``(V, *value_shape)``.
+
+        Must be a deterministic function of the vertex *id* (not of the
+        vertex count), so that growing the graph extends rather than
+        perturbs the initial state.
+        """
+
+    @abstractmethod
+    def contributions(
+        self,
+        graph: CSRGraph,
+        src_values: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: np.ndarray,
+    ) -> np.ndarray:
+        """Per-edge contributions, shape ``(E_sel, *aggregation_shape)``.
+
+        ``graph`` identifies which snapshot's contribution parameters to
+        use (e.g. out-degrees): during refinement the engine evaluates old
+        contributions against the pre-mutation snapshot and new ones
+        against the post-mutation snapshot.
+        """
+
+    @abstractmethod
+    def apply(
+        self,
+        graph: CSRGraph,
+        aggregate_values: np.ndarray,
+        vertices: np.ndarray,
+        previous_values: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The ∮ step: map aggregated values to new vertex values.
+
+        ``aggregate_values`` has shape ``(n, *aggregation_shape)`` for the
+        given ``vertices``; ``previous_values`` is supplied iff
+        :attr:`uses_previous_value` is set.  Must not mutate its inputs.
+        """
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def values_changed(self, old_values: np.ndarray,
+                       new_values: np.ndarray) -> np.ndarray:
+        """Boolean per-vertex mask of meaningful change (selective
+        scheduling predicate; paper section 4.2)."""
+        diff = np.abs(new_values - old_values) > self.tolerance
+        while diff.ndim > 1:
+            diff = diff.any(axis=-1)
+        return diff
+
+    # ------------------------------------------------------------------
+    # Mutation-induced parameter changes
+    # ------------------------------------------------------------------
+    def contribution_params_changed(self, mutation: MutationResult) -> np.ndarray:
+        """Vertices whose *contribution function* changed under a mutation
+        even if their value did not (e.g. PageRank sources whose
+        out-degree changed).  Sorted unique int64 ids; empty by default.
+        """
+        return np.empty(0, dtype=np.int64)
+
+    def apply_params_changed(self, mutation: MutationResult) -> np.ndarray:
+        """Vertices whose *apply step* changed under a mutation (e.g.
+        CoEM's in-weight normaliser).  Sorted unique int64 ids."""
+        return np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def identity_aggregate(self, num_vertices: int) -> np.ndarray:
+        return self.aggregation.identity(num_vertices, self.aggregation_shape)
+
+    def extend_values(self, values: np.ndarray, graph: CSRGraph) -> np.ndarray:
+        """Grow a value array to a larger vertex count, filling new slots
+        with initial values (vertex additions)."""
+        num_vertices = graph.num_vertices
+        if values.shape[0] == num_vertices:
+            return values
+        if values.shape[0] > num_vertices:
+            raise ValueError("value array larger than graph")
+        fresh = self.initial_values(graph)
+        fresh[: values.shape[0]] = values
+        return fresh
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(aggregation={self.aggregation.name})"

@@ -1,0 +1,85 @@
+"""Pruning policies for dependency tracking.
+
+GraphBolt prunes the dependence graph conservatively along two axes
+(paper section 3.2, Figure 4):
+
+- **Horizontal pruning** stops tracking aggregation values after a cut-off
+  iteration.  The cut-off can be fixed, or adaptive: once the fraction of
+  vertices still changing per iteration drops below a threshold, further
+  iterations are not worth tracking because incremental refinement there
+  saves little over forward recomputation.
+- **Vertical pruning** skips vertices whose values have stabilised: an
+  unchanged value is simply not stored for that iteration.  Our
+  :class:`~repro.core.history.DependencyHistory` does this by storing
+  per-iteration *changed* sets, so vertical pruning is the storage
+  default; disabling it stores dense per-iteration snapshots, matching
+  the paper's "with vertical pruning disabled, allocations are done
+  per-iteration across all vertices".
+
+Both prunings are conservative: refinement never needs backpropagation to
+recover pruned values, it just falls back to hybrid forward execution
+past the horizontal cut-off (section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["PruningPolicy"]
+
+
+@dataclass
+class PruningPolicy:
+    """Configuration of horizontal and vertical pruning.
+
+    Parameters
+    ----------
+    horizon:
+        Fixed horizontal cut-off: track at most this many iterations of
+        dependency information.  ``None`` means no fixed cut-off.
+    adaptive_fraction:
+        Adaptive horizontal cut-off: stop tracking once fewer than this
+        fraction of vertices changed in an iteration.  ``None`` disables
+        adaptive cutting.
+    vertical:
+        Store only changed vertices per iteration (True, the default) or
+        dense per-iteration snapshots (False).
+    """
+
+    horizon: Optional[int] = None
+    adaptive_fraction: Optional[float] = None
+    vertical: bool = True
+
+    def __post_init__(self) -> None:
+        if self.horizon is not None and self.horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        if self.adaptive_fraction is not None and not (
+            0.0 <= self.adaptive_fraction <= 1.0
+        ):
+            raise ValueError("adaptive_fraction must be within [0, 1]")
+
+    @classmethod
+    def track_everything(cls) -> "PruningPolicy":
+        """No pruning at all (maximal memory, maximal reuse)."""
+        return cls(horizon=None, adaptive_fraction=None, vertical=True)
+
+    def should_track(self, iteration: int, changed_count: int,
+                     num_vertices: int, tracking_stopped: bool) -> bool:
+        """Decide whether iteration ``iteration`` (1-based) is tracked.
+
+        Horizontal pruning is a *cut-off*: once tracking stops it never
+        resumes (resuming would leave a hole that refinement cannot roll
+        across).
+        """
+        if tracking_stopped:
+            return False
+        if self.horizon is not None and iteration > self.horizon:
+            return False
+        if (
+            self.adaptive_fraction is not None
+            and num_vertices > 0
+            and changed_count / num_vertices < self.adaptive_fraction
+        ):
+            return False
+        return True

@@ -1,0 +1,44 @@
+"""Timestamps for the mini differential dataflow.
+
+A :class:`Timestamp` is the pair ``(epoch, step)``: ``epoch`` counts
+input rounds (graph mutation batches), ``step`` counts inner iterations
+of a feedback loop within an epoch.  We order timestamps
+lexicographically -- a *total* order, which is the documented
+simplification relative to Naiad's partially-ordered product lattice.
+The lattice operations (`join`, `meet`) are still provided and
+well-defined; with a total order they coincide with max and min.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+__all__ = ["Timestamp"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Timestamp:
+    epoch: int
+    step: int = 0
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        return (self.epoch, self.step) < (other.epoch, other.step)
+
+    def join(self, other: "Timestamp") -> "Timestamp":
+        """Least upper bound (== max under the total order)."""
+        return max(self, other)
+
+    def meet(self, other: "Timestamp") -> "Timestamp":
+        """Greatest lower bound (== min under the total order)."""
+        return min(self, other)
+
+    def next_epoch(self) -> "Timestamp":
+        return Timestamp(self.epoch + 1, 0)
+
+    def next_step(self) -> "Timestamp":
+        return Timestamp(self.epoch, self.step + 1)
+
+    def __repr__(self) -> str:
+        return f"({self.epoch}, {self.step})"

@@ -1,0 +1,33 @@
+"""Streaming graph substrate.
+
+This subpackage provides the graph structures GraphBolt computes over:
+
+- :class:`~repro.graph.csr.CSRGraph` -- an immutable compressed sparse
+  row/column snapshot with NumPy-backed adjacency.
+- :class:`~repro.graph.mutable.StreamingGraph` -- a dynamic graph that
+  applies :class:`~repro.graph.mutation.MutationBatch` objects using the
+  paper's two-pass structure adjustment, retaining the previous snapshot
+  so old contribution functions can still be evaluated during refinement.
+- :class:`~repro.graph.stream.MutationStream` -- a buffered source of
+  mutation batches.
+- :mod:`~repro.graph.generators` -- synthetic graph generators (RMAT,
+  Erdos-Renyi, ...) standing in for the paper's web/social datasets.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph, DynamicStreamingGraph
+from repro.graph.mutable import MutationResult, StreamingGraph
+from repro.graph.mutation import MutationBatch
+from repro.graph.stream import MutationStream
+from repro.graph.window import SlidingWindowStream
+
+__all__ = [
+    "CSRGraph",
+    "DynamicGraph",
+    "DynamicStreamingGraph",
+    "MutationBatch",
+    "MutationResult",
+    "MutationStream",
+    "SlidingWindowStream",
+    "StreamingGraph",
+]

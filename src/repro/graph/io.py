@@ -1,0 +1,125 @@
+"""Graph and mutation-stream serialisation.
+
+Two formats:
+
+- plain edge-list text (``src dst [weight]`` per line, ``#`` comments),
+  interoperable with SNAP/KONECT-style dumps the paper's datasets ship in;
+- NumPy ``.npz`` binary, the fast path for benchmark fixtures.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.mutation import MutationBatch
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_npz",
+    "save_npz",
+    "save_mutation_stream",
+    "load_mutation_stream",
+]
+
+
+def load_edge_list(path: str, num_vertices: Optional[int] = None) -> CSRGraph:
+    """Parse a whitespace-separated edge list file into a graph."""
+    src: List[int] = []
+    dst: List[int] = []
+    weight: List[float] = []
+    any_weights = False
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            if len(parts) >= 3:
+                weight.append(float(parts[2]))
+                any_weights = True
+            else:
+                weight.append(1.0)
+    src_arr = np.array(src, dtype=np.int64)
+    dst_arr = np.array(dst, dtype=np.int64)
+    weight_arr = np.array(weight, dtype=np.float64) if any_weights else None
+    if num_vertices is None:
+        num_vertices = (
+            int(max(src_arr.max(initial=-1), dst_arr.max(initial=-1))) + 1
+        )
+    return CSRGraph(num_vertices, src_arr, dst_arr, weight_arr)
+
+
+def save_edge_list(graph: CSRGraph, path: str,
+                   write_weights: bool = True) -> None:
+    src, dst, weight = graph.all_edges()
+    with open(path, "w") as handle:
+        handle.write(f"# vertices: {graph.num_vertices}\n")
+        handle.write(f"# edges: {graph.num_edges}\n")
+        if write_weights:
+            for s, d, w in zip(src.tolist(), dst.tolist(), weight.tolist()):
+                handle.write(f"{s} {d} {w}\n")
+        else:
+            for s, d in zip(src.tolist(), dst.tolist()):
+                handle.write(f"{s} {d}\n")
+
+
+def save_npz(graph: CSRGraph, path: str) -> None:
+    src, dst, weight = graph.all_edges()
+    np.savez_compressed(
+        path,
+        num_vertices=np.int64(graph.num_vertices),
+        src=src,
+        dst=dst,
+        weight=weight,
+    )
+
+
+def load_npz(path: str) -> CSRGraph:
+    with np.load(path) as data:
+        return CSRGraph(
+            int(data["num_vertices"]), data["src"], data["dst"], data["weight"]
+        )
+
+
+def save_mutation_stream(batches: Sequence[MutationBatch], path: str) -> None:
+    """Persist a sequence of mutation batches to one ``.npz`` file."""
+    payload = {"num_batches": np.int64(len(batches))}
+    for i, batch in enumerate(batches):
+        payload[f"add_src_{i}"] = batch.add_src
+        payload[f"add_dst_{i}"] = batch.add_dst
+        payload[f"add_weight_{i}"] = batch.add_weight
+        payload[f"del_src_{i}"] = batch.del_src
+        payload[f"del_dst_{i}"] = batch.del_dst
+    np.savez_compressed(path, **payload)
+
+
+def load_mutation_stream(path: str) -> List[MutationBatch]:
+    with np.load(path) as data:
+        count = int(data["num_batches"])
+        batches = []
+        for i in range(count):
+            batches.append(
+                MutationBatch(
+                    add_src=data[f"add_src_{i}"],
+                    add_dst=data[f"add_dst_{i}"],
+                    add_weight=data[f"add_weight_{i}"],
+                    del_src=data[f"del_src_{i}"],
+                    del_dst=data[f"del_dst_{i}"],
+                )
+            )
+        return batches
+
+
+def ensure_dir(path: str) -> str:
+    """Create ``path`` (and parents) if missing; return it."""
+    os.makedirs(path, exist_ok=True)
+    return path

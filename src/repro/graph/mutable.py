@@ -1,0 +1,234 @@
+"""The dynamic streaming graph.
+
+:class:`StreamingGraph` owns the current :class:`~repro.graph.csr.CSRGraph`
+snapshot and applies :class:`~repro.graph.mutation.MutationBatch` objects,
+mirroring the paper's structure-adjustment scheme (section 4.1): one pass
+over vertices computing offset adjustments, one pass over edges shifting
+and inserting/deleting them.  After each batch both the previous and the
+new snapshot are available, because dependency-driven refinement must
+evaluate *old* contribution functions (old values, old degrees) against
+the old structure and new contributions against the new one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.mutation import MutationBatch
+
+__all__ = ["MutationResult", "StreamingGraph"]
+
+
+@dataclass
+class MutationResult:
+    """Everything an incremental engine needs to know about one batch.
+
+    The ``add_*``/``del_*`` arrays contain only mutations that actually
+    changed the structure: additions of already-present edges and deletions
+    of absent edges are dropped (and reported via ``skipped_additions`` /
+    ``skipped_deletions``).
+    """
+
+    old_graph: CSRGraph
+    new_graph: CSRGraph
+    add_src: np.ndarray
+    add_dst: np.ndarray
+    add_weight: np.ndarray
+    del_src: np.ndarray
+    del_dst: np.ndarray
+    del_weight: np.ndarray
+    skipped_additions: int = 0
+    skipped_deletions: int = 0
+    _out_changed: Optional[np.ndarray] = field(default=None, repr=False)
+    _in_changed: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def num_applied(self) -> int:
+        return int(self.add_src.size + self.del_src.size)
+
+    def out_changed_vertices(self) -> np.ndarray:
+        """Vertices whose out-edge set changed (sorted, unique).
+
+        These are exactly the vertices whose contribution *parameters*
+        (e.g. out-degree in PageRank) may have changed, plus any brand-new
+        vertices in the grown id range.
+        """
+        if self._out_changed is None:
+            old_v = self.old_graph.num_vertices
+            new_ids = np.arange(old_v, self.new_graph.num_vertices, dtype=np.int64)
+            self._out_changed = np.unique(
+                np.concatenate([self.add_src, self.del_src, new_ids])
+            )
+        return self._out_changed
+
+    def in_changed_vertices(self) -> np.ndarray:
+        """Vertices whose in-edge set changed (sorted, unique)."""
+        if self._in_changed is None:
+            old_v = self.old_graph.num_vertices
+            new_ids = np.arange(old_v, self.new_graph.num_vertices, dtype=np.int64)
+            self._in_changed = np.unique(
+                np.concatenate([self.add_dst, self.del_dst, new_ids])
+            )
+        return self._in_changed
+
+    def grew(self) -> bool:
+        return self.new_graph.num_vertices > self.old_graph.num_vertices
+
+    def added_edge_mask(self) -> np.ndarray:
+        """Boolean mask over the *new* graph's CSR edge slots marking the
+        edges this batch added.
+
+        Dependency-driven refinement uses this to exclude newly-added
+        edges from the transitive ⋃△ pass (they have no old contribution
+        to retract; their whole contribution was already added by the
+        direct-impact ⊎ pass).
+        """
+        if not hasattr(self, "_added_mask"):
+            mask = np.zeros(self.new_graph.num_edges, dtype=bool)
+            if self.add_src.size:
+                positions = StreamingGraph._edge_positions(
+                    self.new_graph, self.add_src, self.add_dst
+                )
+                mask[positions] = True
+            self._added_mask = mask
+        return self._added_mask
+
+
+class StreamingGraph:
+    """A dynamic graph mutated by a stream of mutation batches."""
+
+    def __init__(self, initial: CSRGraph) -> None:
+        self._graph = initial
+        self._previous: Optional[CSRGraph] = None
+        self.batches_applied = 0
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The latest snapshot."""
+        return self._graph
+
+    @property
+    def previous(self) -> Optional[CSRGraph]:
+        """The snapshot before the most recent batch (None initially)."""
+        return self._previous
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: MutationBatch) -> MutationResult:
+        """Apply one mutation batch and return the applied delta.
+
+        Follows the paper's two-pass adjustment: the first pass computes
+        per-vertex edge-count adjustments (offsets), the second shifts the
+        edge array and splices additions in.  Deletion of an absent edge or
+        re-addition of a present edge is skipped, not an error, matching
+        the stream semantics of real systems where update feeds can carry
+        stale operations.
+        """
+        old = self._graph
+        num_vertices = max(old.num_vertices, batch.max_vertex() + 1)
+
+        del_src, del_dst, del_weight, skipped_del = self._resolve_deletions(
+            old, batch.del_src, batch.del_dst
+        )
+        add_src, add_dst, add_weight, skipped_add = self._resolve_additions(
+            old, batch.add_src, batch.add_dst, batch.add_weight,
+            del_src, del_dst,
+        )
+
+        new_graph = self._rebuild(
+            old, num_vertices, add_src, add_dst, add_weight, del_src, del_dst
+        )
+
+        self._previous = old
+        self._graph = new_graph
+        self.batches_applied += 1
+        return MutationResult(
+            old_graph=old,
+            new_graph=new_graph,
+            add_src=add_src,
+            add_dst=add_dst,
+            add_weight=add_weight,
+            del_src=del_src,
+            del_dst=del_dst,
+            del_weight=del_weight,
+            skipped_additions=skipped_add,
+            skipped_deletions=skipped_del,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _edge_positions(
+        graph: CSRGraph, src: np.ndarray, dst: np.ndarray
+    ) -> np.ndarray:
+        """CSR slot of each (src, dst) pair, or -1 where the edge is absent."""
+        positions = np.full(src.size, -1, dtype=np.int64)
+        offsets = graph.out_offsets
+        targets = graph.out_targets
+        for i in range(src.size):
+            u = src[i]
+            if u >= graph.num_vertices:
+                continue
+            lo, hi = offsets[u], offsets[u + 1]
+            j = lo + np.searchsorted(targets[lo:hi], dst[i])
+            if j < hi and targets[j] == dst[i]:
+                positions[i] = j
+        return positions
+
+    def _resolve_deletions(self, old, del_src, del_dst):
+        positions = self._edge_positions(old, del_src, del_dst)
+        present = positions >= 0
+        skipped = int((~present).sum())
+        del_weight = old.out_weights[positions[present]]
+        return del_src[present], del_dst[present], del_weight, skipped
+
+    def _resolve_additions(self, old, add_src, add_dst, add_weight,
+                           del_src, del_dst):
+        positions = self._edge_positions(old, add_src, add_dst)
+        absent = positions < 0
+        # An edge being deleted in the same batch may be re-added with a new
+        # weight; MutationBatch already cancelled exact add/delete pairs, so
+        # here "present and also deleted" means replace (delete then add).
+        if del_src.size:
+            deleted = set(zip(del_src.tolist(), del_dst.tolist()))
+            replaced = np.array(
+                [
+                    (s, d) in deleted
+                    for s, d in zip(add_src.tolist(), add_dst.tolist())
+                ],
+                dtype=bool,
+            )
+            absent = absent | replaced
+        skipped = int((~absent).sum())
+        return add_src[absent], add_dst[absent], add_weight[absent], skipped
+
+    @staticmethod
+    def _rebuild(old, num_vertices, add_src, add_dst, add_weight,
+                 del_src, del_dst):
+        src, dst, weight = old.all_edges()
+        if del_src.size:
+            positions = StreamingGraph._edge_positions(old, del_src, del_dst)
+            keep = np.ones(src.size, dtype=bool)
+            keep[positions] = False
+            src, dst, weight = src[keep], dst[keep], weight[keep]
+        if add_src.size:
+            src = np.concatenate([src, add_src])
+            dst = np.concatenate([dst, add_dst])
+            weight = np.concatenate([weight, add_weight])
+        return CSRGraph(num_vertices, src, dst, weight)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingGraph(V={self.num_vertices}, E={self.num_edges}, "
+            f"batches={self.batches_applied})"
+        )

@@ -1,0 +1,141 @@
+"""Buffered mutation streams.
+
+The paper (section 4.1) specifies that mutations arriving while a
+refinement step is in flight are buffered to protect the latency of the
+ongoing step, and applied immediately after it finishes.
+:class:`MutationStream` models exactly that protocol: producers ``push``
+batches at any time; the consumer ``take`` s either one batch or, when it
+has fallen behind, all buffered batches coalesced into one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.graph.mutation import MutationBatch
+
+__all__ = ["MutationStream", "coalesce_batches"]
+
+
+def coalesce_batches(batches: Iterable[MutationBatch]) -> MutationBatch:
+    """Merge consecutive batches into a single equivalent batch.
+
+    The result applies to *any* base graph exactly as the sequence
+    would, accounting for the stream semantics that a re-addition of a
+    present edge is skipped and a deletion of an absent edge is skipped:
+
+    - add then delete  -> delete   (if the edge pre-existed, the add was
+      a skipped no-op and the delete must still apply; if it did not,
+      the coalesced delete is itself a harmless skip);
+    - delete then add  -> delete + add  (replacement);
+    - add then add     -> first add wins (the second was a skip).
+
+    Each edge is tracked through a tiny state machine: untouched ->
+    deleted -> deleted+pending-add, or untouched -> pending-add.
+    """
+    pending_add = {}
+    deleted = {}
+    grow_to: Optional[int] = None
+    for batch in batches:
+        if batch.grow_to is not None:
+            grow_to = (batch.grow_to if grow_to is None
+                       else max(grow_to, batch.grow_to))
+        for edge in batch.deletions():
+            pending_add.pop(edge, None)
+            deleted[edge] = True
+        for s, d, w in batch.additions():
+            if (s, d) not in pending_add:
+                pending_add[(s, d)] = w
+    add_edges = list(pending_add.keys())
+    return MutationBatch.from_edges(
+        additions=add_edges,
+        deletions=list(deleted.keys()),
+        add_weights=[pending_add[e] for e in add_edges],
+        grow_to=grow_to,
+    )
+
+
+class MutationStream:
+    """A FIFO of mutation batches with refinement-aware buffering."""
+
+    def __init__(self, batches: Iterable[MutationBatch] = ()) -> None:
+        self._queue: Deque[MutationBatch] = deque(batches)
+        self._refining = False
+        self.pushed = len(self._queue)
+        self.taken = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def push(self, batch: MutationBatch) -> None:
+        """Enqueue a batch; always legal, even mid-refinement."""
+        self._queue.append(batch)
+        self.pushed += 1
+
+    def push_edges(self, additions=(), deletions=()) -> None:
+        self.push(MutationBatch.from_edges(additions, deletions))
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def begin_refinement(self) -> None:
+        """Mark the start of a refinement step (buffer-only mode)."""
+        self._refining = True
+
+    def end_refinement(self) -> None:
+        self._refining = False
+
+    @property
+    def refining(self) -> bool:
+        return self._refining
+
+    def take(self) -> Optional[MutationBatch]:
+        """Dequeue the next batch, or None when empty or mid-refinement."""
+        if self._refining or not self._queue:
+            return None
+        self.taken += 1
+        return self._queue.popleft()
+
+    def take_all(self) -> Optional[MutationBatch]:
+        """Dequeue *all* buffered batches coalesced into one."""
+        if self._refining or not self._queue:
+            return None
+        batches: List[MutationBatch] = list(self._queue)
+        self._queue.clear()
+        self.taken += len(batches)
+        if len(batches) == 1:
+            return batches[0]
+        return coalesce_batches(batches)
+
+    def __iter__(self) -> Iterator[MutationBatch]:
+        while True:
+            batch = self.take()
+            if batch is None:
+                return
+            yield batch
+
+
+def random_stream(
+    graph_edges: np.ndarray,
+    num_batches: int,
+    batch_size: int,
+    seed: int = 0,
+) -> MutationStream:
+    """Convenience: a stream of random deletion-free batches (testing)."""
+    rng = np.random.default_rng(seed)
+    stream = MutationStream()
+    num_vertices = int(graph_edges.max()) + 1 if graph_edges.size else 1
+    for _ in range(num_batches):
+        src = rng.integers(0, num_vertices, size=batch_size)
+        dst = rng.integers(0, num_vertices, size=batch_size)
+        stream.push(MutationBatch(add_src=src, add_dst=dst))
+    return stream

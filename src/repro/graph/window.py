@@ -1,0 +1,111 @@
+"""Sliding-window view over an append-only edge stream.
+
+Many streaming-graph deployments analyse only the *recent* graph: an
+edge (an interaction, a packet flow, a transaction) is relevant for a
+window of time and then expires.  :class:`SlidingWindowStream` converts
+an append-only stream of edge observations into the mutation batches
+GraphBolt consumes: each step's batch adds the new observations and
+deletes the observations that just aged out of the window.
+
+Expiry is *last-appearance* based: re-observing an edge inside the
+window refreshes its lifetime (and its weight), so an edge is deleted
+only when its most recent observation expires.  This makes the emitted
+stream deletion-heavy in steady state -- roughly one deletion per
+addition -- which is exactly the regime dependency-driven refinement
+must handle (its ⋃– operator does as much work as ⊎).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.mutation import MutationBatch
+
+__all__ = ["SlidingWindowStream"]
+
+Edge = Tuple[int, int]
+
+
+class SlidingWindowStream:
+    """Windowed batch construction over edge observations."""
+
+    def __init__(self, window: int) -> None:
+        """``window`` counts steps an observation stays live: an edge
+        observed at step t expires at the start of step t + window."""
+        if window < 1:
+            raise ValueError("window must be at least one step")
+        self.window = window
+        self._steps: Deque[List[Edge]] = deque()
+        self._last_seen: Dict[Edge, int] = {}
+        self._weights: Dict[Edge, float] = {}
+        self.step = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def live_edges(self) -> int:
+        return len(self._last_seen)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._last_seen
+
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        observations: Iterable[Edge],
+        weights: Optional[Iterable[float]] = None,
+    ) -> MutationBatch:
+        """Ingest one step's observations; return the mutation batch.
+
+        The batch contains: deletions of edges whose last observation
+        just fell out of the window, and additions (or weight
+        refreshes, expressed as delete+add) for observations that are
+        new or carry a changed weight.  Re-observations with an
+        unchanged weight only refresh the lifetime.
+        """
+        observed = list(observations)
+        if weights is None:
+            weight_list = [1.0] * len(observed)
+        else:
+            weight_list = [float(w) for w in weights]
+            if len(weight_list) != len(observed):
+                raise ValueError("weights must match observations")
+
+        additions: List[Edge] = []
+        add_weights: List[float] = []
+        replacements: List[Edge] = []
+        step_edges: List[Edge] = []
+        for edge, weight in zip(observed, weight_list):
+            edge = (int(edge[0]), int(edge[1]))
+            step_edges.append(edge)
+            if edge not in self._last_seen:
+                additions.append(edge)
+                add_weights.append(weight)
+            elif self._weights[edge] != weight:
+                replacements.append(edge)
+                additions.append(edge)
+                add_weights.append(weight)
+            self._last_seen[edge] = self.step
+            self._weights[edge] = weight
+
+        self._steps.append(step_edges)
+        expired: List[Edge] = []
+        if len(self._steps) > self.window:
+            for edge in self._steps.popleft():
+                if self._last_seen.get(edge) == self.step - self.window:
+                    expired.append(edge)
+                    del self._last_seen[edge]
+                    del self._weights[edge]
+        self.step += 1
+
+        return MutationBatch.from_edges(
+            additions=additions,
+            deletions=expired + replacements,
+            add_weights=add_weights,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowStream(window={self.window}, step={self.step}, "
+            f"live={self.live_edges})"
+        )

@@ -1,0 +1,16 @@
+"""KickStarter-style streaming engine for monotonic path algorithms.
+
+The paper compares GraphBolt against KickStarter (Vora et al.,
+ASPLOS'17) on SSSP (Figure 9).  KickStarter trades generality for
+specialisation: it tracks a single O(V) *value dependency tree* (which
+in-neighbour determined each vertex's value) instead of GraphBolt's
+per-iteration aggregation history, and exploits the monotonicity of
+path-based algorithms to trim and re-propagate approximations without
+any BSP iteration structure.  That is why it wins on SSSP -- and why it
+cannot express the BSP-semantics algorithms GraphBolt targets.
+"""
+
+from repro.kickstarter.engine import KickStarterEngine
+from repro.kickstarter.trees import DependencyTree
+
+__all__ = ["DependencyTree", "KickStarterEngine"]

@@ -1,0 +1,94 @@
+"""The graph-parallel primitives: ``edge_map`` and ``vertex_map``.
+
+These are the vectorised counterparts of Ligra's interface (paper
+section 4.2: "GraphBolt builds over the graph parallel interface to
+provide edgeMap and vertexMap functions").  ``edge_map`` gathers the
+out-edges of a frontier and feeds them to a kernel; ``vertex_map``
+applies a kernel over a vertex subset and returns the ids the kernel
+flagged.  Edge-computation metrics are counted here, at the single
+gather site all engines share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.ligra.frontier import VertexSubset
+from repro.runtime.metrics import EngineMetrics
+
+__all__ = ["edge_map", "edge_map_all", "vertex_map", "pull_edges"]
+
+EdgeKernel = Callable[[np.ndarray, np.ndarray, np.ndarray], None]
+
+
+def edge_map(
+    graph: CSRGraph,
+    frontier: VertexSubset,
+    kernel: Optional[EdgeKernel] = None,
+    metrics: Optional[EngineMetrics] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather the frontier's out-edges and optionally run a kernel.
+
+    Returns the gathered ``(src, dst, weight)`` arrays so callers that
+    need the raw edges (all our engines) avoid a second gather.
+    """
+    src, dst, weight = graph.out_edges_of(frontier.ids)
+    if metrics is not None:
+        metrics.count_edges(src.size)
+    if kernel is not None:
+        kernel(src, dst, weight)
+    return src, dst, weight
+
+
+def edge_map_all(
+    graph: CSRGraph,
+    kernel: Optional[EdgeKernel] = None,
+    metrics: Optional[EngineMetrics] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense-mode edge map: process every edge in the graph."""
+    src, dst, weight = graph.all_edges()
+    if metrics is not None:
+        metrics.count_edges(src.size)
+    if kernel is not None:
+        kernel(src, dst, weight)
+    return src, dst, weight
+
+
+def pull_edges(
+    graph: CSRGraph,
+    targets: np.ndarray,
+    metrics: Optional[EngineMetrics] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather the in-edges of ``targets`` (pull direction).
+
+    Used by the re-evaluation strategy for non-decomposable aggregations,
+    which reconstructs each target's full input set from its incoming
+    neighbours (paper sections 3.3 and 4.2).
+    """
+    src, dst, weight = graph.in_edges_of(np.asarray(targets, dtype=np.int64))
+    if metrics is not None:
+        metrics.count_edges(src.size)
+    return src, dst, weight
+
+
+def vertex_map(
+    frontier: VertexSubset,
+    kernel: Callable[[np.ndarray], np.ndarray],
+    metrics: Optional[EngineMetrics] = None,
+) -> VertexSubset:
+    """Apply ``kernel`` to the frontier's ids; kernel returns a keep-mask.
+
+    Mirrors Ligra's vertexMap returning the subset of vertices for which
+    the kernel returned true.
+    """
+    ids = frontier.ids
+    if metrics is not None:
+        metrics.count_vertices(ids.size)
+    keep = kernel(ids)
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape != ids.shape:
+        raise ValueError("vertex kernel must return one flag per vertex")
+    return VertexSubset.from_ids(frontier.num_vertices, ids[keep])

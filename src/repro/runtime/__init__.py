@@ -1,0 +1,6 @@
+"""Shared runtime services: metrics, parallel cost model, validation."""
+
+from repro.runtime.metrics import EngineMetrics, MemoryReport, Timer
+from repro.runtime.parallel import ParallelModel
+
+__all__ = ["EngineMetrics", "MemoryReport", "ParallelModel", "Timer"]

@@ -1,0 +1,76 @@
+"""Result validation helpers.
+
+The paper validates every incremental run by comparing against a
+from-scratch synchronous execution on the mutated graph (section 5.1:
+"we validated correctness for each run by comparing final results").
+These helpers implement that comparison and the relative-error census of
+Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "relative_errors",
+    "count_exceeding",
+    "assert_same_results",
+    "max_relative_error",
+]
+
+ArrayLike = Union[np.ndarray, list]
+
+
+def relative_errors(actual: ArrayLike, expected: ArrayLike) -> np.ndarray:
+    """Element-wise ``|actual - expected| / |expected|`` (vector values are
+    reduced with the max error over components)."""
+    actual_arr = np.asarray(actual, dtype=np.float64)
+    expected_arr = np.asarray(expected, dtype=np.float64)
+    if actual_arr.shape != expected_arr.shape:
+        raise ValueError(
+            f"shape mismatch: {actual_arr.shape} vs {expected_arr.shape}"
+        )
+    denom = np.abs(expected_arr)
+    tiny = denom < 1e-300
+    denom = np.where(tiny, 1.0, denom)
+    err = np.abs(actual_arr - expected_arr) / denom
+    err = np.where(tiny, np.abs(actual_arr - expected_arr), err)
+    while err.ndim > 1:
+        err = err.max(axis=-1)
+    return err
+
+
+def count_exceeding(actual: ArrayLike, expected: ArrayLike,
+                    threshold: float) -> int:
+    """Number of vertices whose relative error is >= ``threshold``.
+
+    This is the Table 1 census ("No. of vertices with incorrect results,
+    relative error >= 10% and >= 1%").
+    """
+    return int((relative_errors(actual, expected) >= threshold).sum())
+
+
+def max_relative_error(actual: ArrayLike, expected: ArrayLike) -> float:
+    err = relative_errors(actual, expected)
+    return float(err.max()) if err.size else 0.0
+
+
+def assert_same_results(actual: ArrayLike, expected: ArrayLike,
+                        tolerance: float = 1e-7, context: str = "") -> None:
+    """Raise ``AssertionError`` when results diverge beyond ``tolerance``.
+
+    ``tolerance`` is a relative error bound; refinement replays float
+    additions in a different order than a from-scratch run, so bit-exact
+    equality is not expected (matching the C++ system, which uses atomic
+    float adds with non-deterministic ordering).
+    """
+    worst = max_relative_error(actual, expected)
+    if worst > tolerance:
+        idx = int(np.argmax(relative_errors(actual, expected)))
+        raise AssertionError(
+            f"results diverge{' (' + context + ')' if context else ''}: "
+            f"max relative error {worst:.3e} at vertex {idx} "
+            f"exceeds tolerance {tolerance:.1e}"
+        )

@@ -1,0 +1,18 @@
+"""Tornado-style approximate/exact query serving over streaming graphs.
+
+Tornado (SIGMOD'16, discussed in the paper's related work) serves
+real-time analytics with a *main loop* that cheaply maintains
+approximate results as the graph evolves and *branch loops* that, on a
+user query, fork off the current state and iterate it to an exact
+answer.  :class:`~repro.serving.server.StreamingAnalyticsServer`
+realises that architecture on GraphBolt: the main loop is a
+GraphBolt engine running a short BSP window (kept exact-for-its-window
+by dependency-driven refinement), and a query branches the rolling
+state forward to the full window or to convergence without disturbing
+ingestion.
+"""
+
+from repro.serving.server import QueryResult, StreamingAnalyticsServer
+from repro.serving.suite import AnalyticsSuite
+
+__all__ = ["AnalyticsSuite", "QueryResult", "StreamingAnalyticsServer"]

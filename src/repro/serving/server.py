@@ -1,0 +1,142 @@
+"""The main-loop / branch-loop analytics server.
+
+Architecture (after Tornado, adapted to GraphBolt's state):
+
+- **Main loop** -- a :class:`~repro.core.engine.GraphBoltEngine`
+  configured with a short iteration window (``approx_iterations``).
+  Every ingested batch is processed with dependency-driven refinement,
+  so the maintained state is *exactly* the BSP result of the short
+  window on the latest snapshot -- an approximation only in the sense
+  that the window is short.
+- **Branch loop** -- a query copies the main loop's rolling
+  :class:`~repro.ligra.delta.DeltaState` and drives it forward with the
+  delta engine, either to a longer fixed window or until convergence.
+  The copy means ingestion state is untouched; because BSP iterations
+  are a pure function of state + graph, the branch result equals a
+  from-scratch run of the same depth on the current snapshot.
+
+The branch runs against the snapshot current at query time; batches
+ingested afterwards do not retroactively change an answered query
+(the buffering semantics of paper section 4.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.engine import GraphBoltEngine
+from repro.core.hybrid import hybrid_forward
+from repro.core.model import IncrementalAlgorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.mutation import MutationBatch
+from repro.ligra.delta import DeltaEngine
+from repro.runtime.metrics import EngineMetrics
+
+__all__ = ["QueryResult", "StreamingAnalyticsServer"]
+
+
+@dataclass
+class QueryResult:
+    """An exact answer computed by a branch loop."""
+
+    values: np.ndarray
+    iterations: int
+    seconds: float
+    batches_ingested: int
+    edge_computations: int
+
+
+class StreamingAnalyticsServer:
+    """Serve approximate results continuously, exact results on demand."""
+
+    def __init__(
+        self,
+        algorithm_factory: Callable[[], IncrementalAlgorithm],
+        graph: CSRGraph,
+        approx_iterations: int = 3,
+        exact_iterations: Optional[int] = None,
+        until_convergence: bool = False,
+        max_iterations: int = 1000,
+    ) -> None:
+        if approx_iterations < 1:
+            raise ValueError("the main loop needs at least one iteration")
+        algorithm = algorithm_factory()
+        if exact_iterations is None:
+            exact_iterations = algorithm.default_iterations
+        if not until_convergence and exact_iterations < approx_iterations:
+            raise ValueError(
+                "exact window must extend the approximate window"
+            )
+        self.algorithm_factory = algorithm_factory
+        self.approx_iterations = approx_iterations
+        self.exact_iterations = exact_iterations
+        self.until_convergence = until_convergence
+        self.max_iterations = max_iterations
+        self.engine = GraphBoltEngine(
+            algorithm, num_iterations=approx_iterations
+        )
+        self.engine.run(graph)
+        self.batches_ingested = 0
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        return self.engine.graph
+
+    @property
+    def approximate_values(self) -> np.ndarray:
+        """The continuously maintained short-window results."""
+        return self.engine.values
+
+    def ingest(self, batch: MutationBatch) -> np.ndarray:
+        """Apply one mutation batch in the main loop."""
+        values = self.engine.apply_mutations(batch)
+        self.batches_ingested += 1
+        return values
+
+    # ------------------------------------------------------------------
+    # Branch loop
+    # ------------------------------------------------------------------
+    def query(self, until_convergence: Optional[bool] = None) -> QueryResult:
+        """Branch the current state forward to an exact answer.
+
+        Does not perturb the main loop: the rolling state is copied and
+        iterated by a detached delta engine.
+        """
+        if until_convergence is None:
+            until_convergence = self.until_convergence
+        start = time.perf_counter()
+        metrics = EngineMetrics()
+        branch_engine = DeltaEngine(self.algorithm_factory(), metrics)
+        state = self.engine._state.copy()
+        hybrid_forward(
+            branch_engine, self.engine.graph, state,
+            total_iterations=self.exact_iterations,
+            until_convergence=until_convergence,
+            max_iterations=self.max_iterations,
+        )
+        self.queries_served += 1
+        return QueryResult(
+            values=state.values,
+            iterations=state.iteration,
+            seconds=time.perf_counter() - start,
+            batches_ingested=self.batches_ingested,
+            edge_computations=metrics.edge_computations,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingAnalyticsServer(algorithm="
+            f"{self.engine.algorithm.name}, "
+            f"approx={self.approx_iterations}, "
+            f"exact={self.exact_iterations}, "
+            f"ingested={self.batches_ingested}, "
+            f"queries={self.queries_served})"
+        )

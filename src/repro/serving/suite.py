@@ -1,0 +1,120 @@
+"""Multiple analyses over one shared streaming graph.
+
+Production streaming deployments rarely run a single metric: the same
+interaction graph feeds ranking, labelling, anomaly counters, and so
+on.  Running one :class:`~repro.core.engine.GraphBoltEngine` per
+analysis naively would adjust the graph structure once *per engine* per
+batch; :class:`AnalyticsSuite` owns the structure, adjusts it exactly
+once, and feeds every engine the same
+:class:`~repro.graph.mutable.MutationResult` through
+:meth:`~repro.core.engine.GraphBoltEngine.apply_mutation_result`.
+
+Triangle counting (not an iterative vertex program) can be attached
+alongside the vertex analyses via ``include_triangles=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.algorithms.triangle_counting import (
+    TriangleCounts,
+    triangle_counts,
+)
+from repro.core.engine import GraphBoltEngine
+from repro.core.model import IncrementalAlgorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.mutable import StreamingGraph
+from repro.graph.mutation import MutationBatch
+
+__all__ = ["AnalyticsSuite"]
+
+
+class AnalyticsSuite:
+    """A bundle of GraphBolt engines sharing one streaming structure."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        analyses: Mapping[str, Callable[[], IncrementalAlgorithm]],
+        num_iterations: Optional[int] = None,
+        include_triangles: bool = False,
+        **engine_kwargs,
+    ) -> None:
+        if not analyses and not include_triangles:
+            raise ValueError("the suite needs at least one analysis")
+        self._streaming = StreamingGraph(graph)
+        self.engines: Dict[str, GraphBoltEngine] = {}
+        for name, factory in analyses.items():
+            engine = GraphBoltEngine(
+                factory(), num_iterations=num_iterations, **engine_kwargs
+            )
+            engine.run(streaming=self._streaming)
+            self.engines[name] = engine
+        self._triangles: Optional[TriangleCounts] = None
+        if include_triangles:
+            self._triangles = triangle_counts(graph)
+        self.batches_applied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        return self._streaming.graph
+
+    @property
+    def names(self):
+        return list(self.engines)
+
+    def values(self, name: str) -> np.ndarray:
+        return self.engines[name].values
+
+    @property
+    def triangle_counts(self) -> Optional[TriangleCounts]:
+        return self._triangles
+
+    # ------------------------------------------------------------------
+    def apply(self, batch: MutationBatch) -> Dict[str, np.ndarray]:
+        """Adjust the structure once; refine every analysis."""
+        mutation = self._streaming.apply_batch(batch)
+        results = {
+            name: engine.apply_mutation_result(mutation)
+            for name, engine in self.engines.items()
+        }
+        if self._triangles is not None:
+            self._update_triangles(mutation)
+        self.batches_applied += 1
+        return results
+
+    def _update_triangles(self, mutation) -> None:
+        from repro.algorithms.triangle_counting import (
+            _triangles_through_edges,
+        )
+
+        counts = self._triangles
+        new_graph = mutation.new_graph
+        if new_graph.num_vertices > counts.per_vertex.size:
+            grown = np.zeros(new_graph.num_vertices, dtype=np.int64)
+            grown[: counts.per_vertex.size] = counts.per_vertex
+            counts.per_vertex = grown
+        created = _triangles_through_edges(
+            new_graph, mutation.add_src, mutation.add_dst, None
+        )
+        destroyed = _triangles_through_edges(
+            mutation.old_graph, mutation.del_src, mutation.del_dst, None
+        )
+        for triangle in created:
+            for vertex in triangle:
+                counts.per_vertex[vertex] += 1
+        for triangle in destroyed:
+            for vertex in triangle:
+                counts.per_vertex[vertex] -= 1
+        counts.total += len(created) - len(destroyed)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalyticsSuite(analyses={sorted(self.engines)}, "
+            f"triangles={self._triangles is not None}, "
+            f"batches={self.batches_applied})"
+        )

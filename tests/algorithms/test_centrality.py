@@ -1,0 +1,122 @@
+"""Semantic + refinement tests for the extension centrality algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    KatzCentrality,
+    PersonalizedPageRank,
+    WeightedPageRank,
+)
+from repro.core.engine import GraphBoltEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import cycle_graph, rmat, star_graph
+from repro.graph.mutation import MutationBatch
+from repro.ligra.engine import LigraEngine
+from tests.conftest import make_random_batch
+
+FACTORIES = [
+    pytest.param(lambda: KatzCentrality(alpha=0.05), id="katz"),
+    pytest.param(lambda: WeightedPageRank(), id="weighted_pagerank"),
+    pytest.param(lambda: PersonalizedPageRank(), id="personalized_pagerank"),
+]
+
+
+class TestKatz:
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            KatzCentrality(alpha=0.0)
+
+    def test_isolated_vertex_scores_beta(self):
+        graph = CSRGraph.from_edges([(0, 1)], num_vertices=3)
+        scores = LigraEngine(KatzCentrality(beta=2.0)).run(graph, 10)
+        assert scores[2] == 2.0
+
+    def test_more_in_edges_more_central(self):
+        graph = star_graph(10, outward=False)  # leaves -> hub
+        scores = LigraEngine(KatzCentrality()).run(graph, 10)
+        assert scores[0] > scores[1]
+
+
+class TestWeightedPageRank:
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            WeightedPageRank(damping=1.0)
+
+    def test_weight_shares_sum_to_rank(self):
+        graph = CSRGraph.from_edges([(0, 1), (0, 2)], num_vertices=3,
+                                    weights=[3.0, 1.0])
+        algo = WeightedPageRank()
+        contribs = algo.contributions(
+            graph, np.array([2.0, 2.0]), np.array([0, 0]),
+            np.array([1, 2]), np.array([3.0, 1.0]),
+        )
+        assert np.allclose(contribs, [1.5, 0.5])
+
+    def test_uniform_weights_match_plain_pagerank(self):
+        from repro.algorithms import PageRank
+
+        graph = rmat(scale=7, edge_factor=5, seed=60)  # unit weights
+        weighted = LigraEngine(WeightedPageRank()).run(graph, 10)
+        plain = LigraEngine(PageRank()).run(graph, 10)
+        assert np.allclose(weighted, plain)
+
+    def test_weight_replacement_is_param_change(self):
+        from repro.graph.mutable import StreamingGraph
+
+        graph = CSRGraph.from_edges([(0, 1), (0, 2)], num_vertices=3)
+        mutation = StreamingGraph(graph).apply_batch(
+            MutationBatch.from_edges(additions=[(0, 1)],
+                                     deletions=[(0, 1)],
+                                     add_weights=[5.0])
+        )
+        changed = WeightedPageRank().contribution_params_changed(mutation)
+        assert 0 in changed.tolist()
+
+
+class TestPersonalized:
+    def test_mass_concentrates_near_seeds(self):
+        graph = cycle_graph(40)
+        algo = PersonalizedPageRank(seed_every=40, salt=41)
+        scores = LigraEngine(algo).run(graph, 60)
+        seeds = np.flatnonzero(algo.seed_mask(np.arange(40)))
+        if seeds.size:
+            seed = int(seeds[0])
+            successor = (seed + 1) % 40
+            far = (seed + 20) % 40
+            assert scores[seed] > scores[far]
+            assert scores[successor] > scores[far]
+
+    def test_non_seed_graphless_vertex_scores_zero(self):
+        graph = CSRGraph.from_edges([], num_vertices=64)
+        algo = PersonalizedPageRank(seed_every=8)
+        scores = LigraEngine(algo).run(graph, 5)
+        seeds = algo.seed_mask(np.arange(64))
+        assert np.all(scores[~seeds] == 0.0)
+        assert np.all(scores[seeds] > 0.0)
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+class TestRefinementEqualsScratch:
+    def test_mixed_stream(self, factory, rng):
+        graph = rmat(scale=8, edge_factor=6, seed=61, weighted=True)
+        engine = GraphBoltEngine(factory(), num_iterations=10)
+        engine.run(graph)
+        for _ in range(3):
+            batch = make_random_batch(engine.graph, rng, 15, 15)
+            engine.apply_mutations(batch)
+        truth = LigraEngine(factory()).run(engine.graph, 10)
+        assert np.allclose(engine.values, truth, atol=1e-7)
+
+    def test_weight_replacement_refines_exactly(self, factory, rng):
+        graph = rmat(scale=7, edge_factor=5, seed=62, weighted=True)
+        engine = GraphBoltEngine(factory(), num_iterations=10)
+        engine.run(graph)
+        src, dst, _ = engine.graph.all_edges()
+        edge = (int(src[3]), int(dst[3]))
+        engine.apply_mutations(
+            MutationBatch.from_edges(additions=[edge], deletions=[edge],
+                                     add_weights=[4.5])
+        )
+        truth = LigraEngine(factory()).run(engine.graph, 10)
+        assert np.allclose(engine.values, truth, atol=1e-7)

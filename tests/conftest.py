@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import bipartite_graph, rmat
+from repro.graph.mutation import MutationBatch
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """The 5-vertex graph of the paper's Figure 2a."""
+    return CSRGraph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 1), (3, 2), (3, 4), (4, 3)],
+        num_vertices=5,
+    )
+
+
+@pytest.fixture
+def small_graph() -> CSRGraph:
+    """A 256-vertex weighted RMAT graph."""
+    return rmat(scale=8, edge_factor=6, seed=3, weighted=True)
+
+
+@pytest.fixture
+def medium_graph() -> CSRGraph:
+    """A 512-vertex weighted RMAT graph."""
+    return rmat(scale=9, edge_factor=8, seed=5, weighted=True)
+
+
+@pytest.fixture
+def ratings_graph() -> CSRGraph:
+    """A user-item bipartite graph for collaborative filtering."""
+    return bipartite_graph(num_users=100, num_items=50, edges_per_user=5,
+                           seed=7)
+
+
+def make_random_batch(graph: CSRGraph, rng: np.random.Generator,
+                      num_adds: int = 20, num_dels: int = 20,
+                      weighted: bool = True) -> MutationBatch:
+    """Random mixed batch: uniform additions + deletions of live edges."""
+    num_vertices = graph.num_vertices
+    adds = [
+        (int(rng.integers(0, num_vertices)), int(rng.integers(0, num_vertices)))
+        for _ in range(num_adds)
+    ]
+    src, dst, _ = graph.all_edges()
+    count = min(num_dels, src.size)
+    idx = rng.choice(src.size, size=count, replace=False) if count else []
+    dels = [(int(src[i]), int(dst[i])) for i in idx]
+    weights = (
+        (rng.random(len(adds)) + 0.5).tolist() if weighted
+        else [1.0] * len(adds)
+    )
+    return MutationBatch.from_edges(additions=adds, deletions=dels,
+                                    add_weights=weights)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

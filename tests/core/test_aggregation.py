@@ -1,0 +1,199 @@
+"""Unit and property tests for the aggregation algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    CountAggregation,
+    LogProductAggregation,
+    MaxAggregation,
+    MinAggregation,
+    ProductAggregation,
+    SumAggregation,
+)
+
+
+class TestSum:
+    def setup_method(self):
+        self.agg = SumAggregation()
+
+    def test_identity(self):
+        assert self.agg.identity_value() == 0.0
+        assert np.all(self.agg.identity(4) == 0.0)
+        assert self.agg.identity(3, (2,)).shape == (3, 2)
+
+    def test_scatter_accumulates_duplicates(self):
+        aggregate = self.agg.identity(3)
+        self.agg.scatter(aggregate, np.array([1, 1, 2]),
+                         np.array([1.0, 2.0, 5.0]))
+        assert aggregate.tolist() == [0.0, 3.0, 5.0]
+
+    def test_retract_undoes_scatter(self):
+        aggregate = self.agg.identity(2)
+        dst = np.array([0, 1, 0])
+        contribs = np.array([1.0, 2.0, 3.0])
+        self.agg.scatter(aggregate, dst, contribs)
+        self.agg.scatter_retract(aggregate, dst, contribs)
+        assert np.allclose(aggregate, 0.0)
+
+    def test_delta(self):
+        assert self.agg.delta(np.array([5.0]), np.array([2.0])) == 3.0
+
+    def test_scatter_delta_equals_retract_then_scatter(self):
+        a = self.agg.identity(3)
+        b = self.agg.identity(3)
+        a += 7.0
+        b += 7.0
+        dst = np.array([0, 2])
+        old = np.array([1.0, 2.0])
+        new = np.array([4.0, 8.0])
+        self.agg.scatter_delta(a, dst, new, old)
+        self.agg.scatter_retract(b, dst, old)
+        self.agg.scatter(b, dst, new)
+        assert np.allclose(a, b)
+
+    def test_reduce(self):
+        assert self.agg.reduce(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_vector_scatter(self):
+        aggregate = self.agg.identity(2, (3,))
+        self.agg.scatter(aggregate, np.array([1, 1]),
+                         np.array([[1.0, 0.0, 2.0], [1.0, 1.0, 1.0]]))
+        assert aggregate[1].tolist() == [2.0, 1.0, 3.0]
+
+    def test_name(self):
+        assert self.agg.name == "sum"
+        assert CountAggregation().name == "count"
+
+
+class TestProduct:
+    def setup_method(self):
+        self.agg = ProductAggregation()
+
+    def test_identity(self):
+        assert self.agg.identity_value() == 1.0
+
+    def test_scatter_multiplies(self):
+        aggregate = self.agg.identity(2)
+        self.agg.scatter(aggregate, np.array([0, 0]), np.array([2.0, 3.0]))
+        assert aggregate[0] == 6.0
+
+    def test_retract_divides(self):
+        aggregate = self.agg.identity(1)
+        self.agg.scatter(aggregate, np.array([0]), np.array([8.0]))
+        self.agg.scatter_retract(aggregate, np.array([0]), np.array([2.0]))
+        assert aggregate[0] == 4.0
+
+    def test_delta_is_ratio(self):
+        assert self.agg.delta(np.array([6.0]), np.array([2.0])) == 3.0
+
+    def test_reduce(self):
+        assert self.agg.reduce(np.array([2.0, 5.0])) == 10.0
+
+
+class TestLogProduct:
+    def test_semantics_match_product_in_log_space(self):
+        product = ProductAggregation()
+        logprod = LogProductAggregation()
+        values = np.array([2.0, 0.5, 3.0])
+        dst = np.zeros(3, dtype=np.int64)
+
+        direct = product.identity(1)
+        product.scatter(direct, dst, values)
+        logged = logprod.identity(1)
+        logprod.scatter(logged, dst, np.log(values))
+        assert np.allclose(np.exp(logged), direct)
+
+    def test_retract(self):
+        agg = LogProductAggregation()
+        aggregate = agg.identity(1)
+        agg.scatter(aggregate, np.array([0]), np.array([1.5]))
+        agg.scatter_retract(aggregate, np.array([0]), np.array([1.5]))
+        assert np.allclose(aggregate, 0.0)
+
+    def test_deep_products_stay_finite(self):
+        # 100k multiplications of 0.9 underflow directly but not in logs.
+        agg = LogProductAggregation()
+        aggregate = agg.identity(1)
+        contribs = np.full(100_000, np.log(0.9))
+        agg.scatter(aggregate, np.zeros(100_000, dtype=np.int64), contribs)
+        assert np.isfinite(aggregate[0])
+
+
+class TestMinMax:
+    def test_min_scatter(self):
+        agg = MinAggregation()
+        aggregate = agg.identity(2)
+        assert np.all(np.isinf(aggregate))
+        agg.scatter(aggregate, np.array([0, 0, 1]),
+                    np.array([3.0, 1.0, 2.0]))
+        assert aggregate.tolist() == [1.0, 2.0]
+
+    def test_max_scatter(self):
+        agg = MaxAggregation()
+        aggregate = agg.identity(1)
+        agg.scatter(aggregate, np.array([0, 0]), np.array([3.0, 7.0]))
+        assert aggregate[0] == 7.0
+
+    def test_non_decomposable_flags(self):
+        assert not MinAggregation().decomposable
+        assert not MaxAggregation().decomposable
+        assert SumAggregation().decomposable
+        assert ProductAggregation().decomposable
+
+    def test_retract_raises(self):
+        with pytest.raises(NotImplementedError, match="non-decomposable"):
+            MinAggregation().scatter_retract(
+                np.zeros(1), np.array([0]), np.array([1.0])
+            )
+
+    def test_delta_raises(self):
+        with pytest.raises(NotImplementedError):
+            MaxAggregation().delta(np.array([1.0]), np.array([2.0]))
+
+    def test_reduce(self):
+        assert MinAggregation().reduce(np.array([4.0, 2.0])) == 2.0
+        assert MaxAggregation().reduce(np.array([4.0, 2.0])) == 4.0
+
+
+class TestAlgebraicLaws:
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+        st.integers(0, 1_000_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sum_scatter_is_order_independent(self, values, seed):
+        agg = SumAggregation()
+        contribs = np.array(values)
+        dst = np.zeros(len(values), dtype=np.int64)
+        forward = agg.identity(1)
+        agg.scatter(forward, dst, contribs)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(values))
+        shuffled = agg.identity(1)
+        agg.scatter(shuffled, dst, contribs[order])
+        assert np.allclose(forward, shuffled)
+
+    @given(st.lists(st.floats(0.1, 10), min_size=1, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_sum_retraction_inverts(self, values):
+        agg = SumAggregation()
+        contribs = np.array(values)
+        dst = np.zeros(len(values), dtype=np.int64)
+        aggregate = agg.identity(1)
+        agg.scatter(aggregate, dst, contribs)
+        agg.scatter_retract(aggregate, dst, contribs)
+        assert np.allclose(aggregate, 0.0, atol=1e-9)
+
+    @given(st.lists(st.floats(0.5, 2.0), min_size=1, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_log_product_retraction_inverts(self, values):
+        agg = LogProductAggregation()
+        contribs = np.log(np.array(values))
+        dst = np.zeros(len(values), dtype=np.int64)
+        aggregate = agg.identity(1)
+        agg.scatter(aggregate, dst, contribs)
+        agg.scatter_retract(aggregate, dst, contribs)
+        assert np.allclose(aggregate, 0.0, atol=1e-9)

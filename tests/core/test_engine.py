@@ -1,0 +1,196 @@
+"""Unit tests for GraphBoltEngine lifecycle, strategies and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LabelPropagation, PageRank, SSSP
+from repro.core.engine import GraphBoltEngine
+from repro.core.pruning import PruningPolicy
+from repro.graph.generators import rmat
+from repro.graph.mutation import MutationBatch
+from repro.ligra.engine import LigraEngine
+from repro.runtime.validation import count_exceeding
+from tests.conftest import make_random_batch
+
+
+@pytest.fixture
+def graph():
+    return rmat(scale=8, edge_factor=6, seed=4, weighted=True)
+
+
+class TestLifecycle:
+    def test_requires_run_before_use(self, graph):
+        engine = GraphBoltEngine(PageRank())
+        with pytest.raises(RuntimeError, match="run"):
+            _ = engine.values
+        with pytest.raises(RuntimeError):
+            engine.apply_mutations(MutationBatch.empty())
+        with pytest.raises(RuntimeError):
+            engine.memory_report()
+
+    def test_run_returns_values(self, graph):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5)
+        values = engine.run(graph)
+        assert values.shape == (graph.num_vertices,)
+        assert values is engine.values
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            GraphBoltEngine(PageRank(), strategy="bogus")
+
+    def test_graph_property_tracks_mutations(self, graph, rng):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5)
+        engine.run(graph)
+        assert engine.graph is graph
+        engine.apply_mutations(make_random_batch(graph, rng, 5, 0))
+        assert engine.graph is not graph
+
+    def test_repr(self, graph):
+        engine = GraphBoltEngine(PageRank())
+        assert "ran=False" in repr(engine)
+        engine.run(graph)
+        assert "ran=True" in repr(engine)
+
+
+class TestTracking:
+    def test_history_horizon_matches_iterations(self, graph):
+        engine = GraphBoltEngine(PageRank(), num_iterations=6)
+        engine.run(graph)
+        assert engine.history.horizon == 6
+
+    def test_fixed_horizon_caps_tracking(self, graph):
+        engine = GraphBoltEngine(PageRank(), num_iterations=8,
+                                 pruning=PruningPolicy(horizon=3))
+        engine.run(graph)
+        assert engine.history.horizon == 3
+
+    def test_adaptive_pruning_stops_tracking(self, graph):
+        # SSSP's frontier collapses quickly; adaptive pruning should cut
+        # the horizon well short of the iteration count.
+        engine = GraphBoltEngine(SSSP(source=0), num_iterations=50,
+                                 pruning=PruningPolicy(adaptive_fraction=0.2))
+        engine.run(graph)
+        assert 1 <= engine.history.horizon < 10
+
+    def test_vertical_pruning_off_stores_dense(self, graph):
+        sparse = GraphBoltEngine(
+            LabelPropagation(tolerance=1e-3, seed_every=3),
+            num_iterations=8,
+        )
+        sparse.run(graph)
+        dense = GraphBoltEngine(
+            LabelPropagation(tolerance=1e-3, seed_every=3),
+            num_iterations=8,
+            pruning=PruningPolicy(vertical=False),
+        )
+        dense.run(graph)
+        assert dense.history.nbytes > sparse.history.nbytes
+        for record in dense.history.records:
+            assert record.g_idx.size == graph.num_vertices
+
+    def test_naive_strategy_tracks_nothing(self, graph):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5,
+                                 strategy="naive")
+        engine.run(graph)
+        assert engine.history.horizon == 0
+
+
+class TestNaiveStrategy:
+    def test_naive_reuse_produces_incorrect_results(self, graph, rng):
+        engine = GraphBoltEngine(
+            LabelPropagation(num_labels=5, seed_every=10),
+            num_iterations=10, strategy="naive",
+        )
+        engine.run(graph)
+        for _ in range(3):
+            values = engine.apply_mutations(
+                make_random_batch(engine.graph, rng, 30, 30)
+            )
+        truth = LigraEngine(
+            LabelPropagation(num_labels=5, seed_every=10)
+        ).run(engine.graph, 10)
+        assert count_exceeding(values, truth, 0.01) > 0
+
+    def test_naive_handles_growth(self, graph, rng):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5,
+                                 strategy="naive")
+        engine.run(graph)
+        grown = graph.num_vertices + 3
+        values = engine.apply_mutations(
+            MutationBatch.from_edges(additions=[(0, grown - 1)],
+                                     grow_to=grown)
+        )
+        assert values.shape == (grown,)
+
+
+class TestMemoryReport:
+    def test_dependency_bytes_positive(self, graph):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5)
+        engine.run(graph)
+        report = engine.memory_report()
+        assert report.dependency_bytes > 0
+        assert report.baseline_bytes > graph.nbytes
+
+    def test_graph_exclusion(self, graph):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5)
+        engine.run(graph)
+        with_graph = engine.memory_report(include_graph=True)
+        without = engine.memory_report(include_graph=False)
+        assert with_graph.baseline_bytes - without.baseline_bytes == (
+            graph.nbytes
+        )
+        assert without.overhead_percent > with_graph.overhead_percent
+
+    def test_first_iteration_only(self, graph):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5)
+        engine.run(graph)
+        worst_case = engine.memory_report(first_iteration_only=True)
+        full = engine.memory_report(first_iteration_only=False)
+        assert worst_case.dependency_bytes == engine.history.records[0].nbytes
+        assert worst_case.dependency_bytes <= full.dependency_bytes
+
+    def test_zero_baseline_edge_cases(self):
+        from repro.runtime.metrics import MemoryReport
+
+        assert MemoryReport(0, 0).overhead_fraction == 0.0
+        assert MemoryReport(0, 10).overhead_fraction == float("inf")
+
+
+class TestMetricsPhases:
+    def test_phase_timers_populated(self, graph, rng):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5)
+        engine.run(graph)
+        engine.apply_mutations(make_random_batch(engine.graph, rng, 5, 5))
+        phases = engine.metrics.phase_seconds
+        for phase in ("initial_run", "adjust_structure", "refine", "hybrid"):
+            assert phase in phases
+
+    def test_refinement_iterations_counted(self, graph, rng):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5)
+        engine.run(graph)
+        engine.apply_mutations(make_random_batch(engine.graph, rng, 5, 5))
+        assert engine.metrics.refinement_iterations == 5
+
+
+class TestConvergenceNaiveCombo:
+    def test_naive_strategy_with_convergence_mode(self, graph, rng):
+        engine = GraphBoltEngine(
+            LabelPropagation(num_labels=3, seed_every=3, tolerance=1e-4),
+            until_convergence=True, max_iterations=200, strategy="naive",
+        )
+        engine.run(graph)
+        values = engine.apply_mutations(
+            make_random_batch(engine.graph, rng, 10, 10)
+        )
+        assert values.shape[0] == engine.graph.num_vertices
+        assert np.isfinite(values).all()
+
+    def test_refine_strategy_with_convergence_reaches_fixpoint(self, graph,
+                                                               rng):
+        engine = GraphBoltEngine(
+            LabelPropagation(num_labels=3, seed_every=3, tolerance=1e-4),
+            until_convergence=True, max_iterations=200,
+        )
+        engine.run(graph)
+        engine.apply_mutations(make_random_batch(engine.graph, rng, 10, 10))
+        assert engine._state.frontier.size == 0

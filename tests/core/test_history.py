@@ -1,0 +1,113 @@
+"""Unit tests for dependency history storage and rolling replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import DependencyHistory
+
+
+def make_history():
+    initial = np.array([1.0, 1.0, 1.0])
+    identity = np.zeros(3)
+    history = DependencyHistory(initial, identity)
+    # Iteration 1: vertices 0, 2 change aggregation; 0 changes value.
+    history.record(np.array([0, 2]), np.array([5.0, 7.0]),
+                   np.array([0]), np.array([2.0]))
+    # Iteration 2: vertex 1 changes both.
+    history.record(np.array([1]), np.array([3.0]),
+                   np.array([1]), np.array([4.0]))
+    return history
+
+
+class TestStorage:
+    def test_horizon(self):
+        assert make_history().horizon == 2
+
+    def test_nbytes_counts_records_only(self):
+        history = DependencyHistory(np.ones(100), np.zeros(100))
+        assert history.nbytes == 0
+        history.record(np.array([0]), np.array([1.0]),
+                       np.array([0]), np.array([1.0]))
+        assert history.nbytes == 32  # two int64 + two float64
+
+    def test_stored_entries(self):
+        assert make_history().stored_entries() == 3
+
+    def test_values_are_copied(self):
+        initial = np.ones(2)
+        history = DependencyHistory(initial, np.zeros(2))
+        g_vals = np.array([9.0])
+        history.record(np.array([0]), g_vals, np.array([0]), g_vals)
+        g_vals[0] = -1.0
+        assert history.records[0].g_values[0] == 9.0
+        initial[0] = -1.0
+        assert history.initial_values[0] == 1.0
+
+    def test_changed_frontier(self):
+        history = make_history()
+        assert history.changed_frontier(1).tolist() == [0]
+        assert history.changed_frontier(2).tolist() == [1]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyHistory(np.ones(3), np.zeros(4))
+
+
+class TestRollingReplay:
+    def test_replay_values(self):
+        roll = make_history().rolling()
+        assert roll.iteration == 0
+        assert roll.c.tolist() == [1.0, 1.0, 1.0]
+
+        roll.advance()
+        assert roll.g.tolist() == [5.0, 0.0, 7.0]
+        assert roll.c.tolist() == [2.0, 1.0, 1.0]
+        assert roll.c_prev.tolist() == [1.0, 1.0, 1.0]
+
+        roll.advance()
+        assert roll.g.tolist() == [5.0, 3.0, 7.0]
+        assert roll.c.tolist() == [2.0, 4.0, 1.0]
+        assert roll.c_prev.tolist() == [2.0, 1.0, 1.0]
+
+    def test_advance_past_horizon_raises(self):
+        roll = make_history().rolling()
+        roll.advance()
+        roll.advance()
+        with pytest.raises(IndexError):
+            roll.advance()
+
+    def test_extended_replay(self):
+        history = make_history()
+        roll = history.rolling(
+            extended_initial=np.array([1.0, 1.0, 1.0, 9.0]),
+            extended_identity=np.zeros(4),
+        )
+        roll.advance()
+        # New vertex never changes during replay.
+        assert roll.c.tolist() == [2.0, 1.0, 1.0, 9.0]
+        assert roll.g[3] == 0.0
+
+    def test_extension_cannot_shrink(self):
+        with pytest.raises(ValueError):
+            make_history().rolling(extended_initial=np.ones(2),
+                                   extended_identity=np.zeros(2))
+
+    def test_replay_does_not_mutate_history(self):
+        history = make_history()
+        roll = history.rolling()
+        roll.advance()
+        roll.c[0] = 123.0
+        roll2 = history.rolling()
+        roll2.advance()
+        assert roll2.c[0] == 2.0
+
+    def test_vector_values(self):
+        initial = np.ones((2, 3))
+        identity = np.zeros((2, 3))
+        history = DependencyHistory(initial, identity)
+        history.record(np.array([1]), np.array([[1.0, 2.0, 3.0]]),
+                       np.array([1]), np.array([[4.0, 5.0, 6.0]]))
+        roll = history.rolling()
+        roll.advance()
+        assert roll.g[1].tolist() == [1.0, 2.0, 3.0]
+        assert roll.c[1].tolist() == [4.0, 5.0, 6.0]

@@ -1,0 +1,75 @@
+"""Unit tests for computation-aware hybrid execution."""
+
+import numpy as np
+
+from repro.algorithms import PageRank
+from repro.core.hybrid import hybrid_forward
+from repro.graph.generators import rmat
+from repro.ligra.delta import DeltaEngine
+from repro.ligra.engine import LigraEngine
+from repro.runtime.validation import assert_same_results
+
+
+def make_state_at(graph, algorithm, iterations):
+    engine = DeltaEngine(algorithm)
+    state = engine.initial_state(graph)
+    for _ in range(iterations):
+        engine.step(graph, state)
+    return engine, state
+
+
+class TestHybridForward:
+    def test_completes_the_window(self):
+        graph = rmat(scale=7, edge_factor=5, seed=6, weighted=True)
+        engine, state = make_state_at(graph, PageRank(), 3)
+        hybrid_forward(engine, graph, state, total_iterations=10,
+                       until_convergence=False)
+        assert state.iteration == 10
+        truth = LigraEngine(PageRank()).run(graph, 10)
+        assert_same_results(state.values, truth, tolerance=1e-8)
+
+    def test_no_budget_is_noop(self):
+        graph = rmat(scale=6, edge_factor=4, seed=6)
+        engine, state = make_state_at(graph, PageRank(), 5)
+        before = state.values.copy()
+        hybrid_forward(engine, graph, state, total_iterations=5,
+                       until_convergence=False)
+        assert state.iteration == 5
+        assert np.array_equal(state.values, before)
+
+    def test_negative_budget_is_noop(self):
+        graph = rmat(scale=6, edge_factor=4, seed=6)
+        engine, state = make_state_at(graph, PageRank(), 5)
+        hybrid_forward(engine, graph, state, total_iterations=3,
+                       until_convergence=False)
+        assert state.iteration == 5
+
+    def test_convergence_mode_stops_at_empty_frontier(self):
+        from repro.algorithms import SSSP
+
+        graph = rmat(scale=7, edge_factor=5, seed=6, weighted=True)
+        engine, state = make_state_at(graph, SSSP(source=0), 2)
+        hybrid_forward(engine, graph, state, total_iterations=None,
+                       until_convergence=True, max_iterations=500)
+        assert state.frontier.size == 0
+        assert state.iteration < 100
+        truth = LigraEngine(SSSP(source=0)).run(
+            graph, until_convergence=True
+        )
+        filled = np.where(np.isinf(state.values), -1, state.values)
+        filled_truth = np.where(np.isinf(truth), -1, truth)
+        assert_same_results(filled, filled_truth, tolerance=1e-8)
+
+    def test_default_total_iterations_from_algorithm(self):
+        graph = rmat(scale=6, edge_factor=4, seed=6)
+        engine, state = make_state_at(graph, PageRank(), 0)
+        hybrid_forward(engine, graph, state, total_iterations=None,
+                       until_convergence=False)
+        assert state.iteration == PageRank().default_iterations
+
+    def test_counts_hybrid_iterations(self):
+        graph = rmat(scale=6, edge_factor=4, seed=6)
+        engine, state = make_state_at(graph, PageRank(), 4)
+        hybrid_forward(engine, graph, state, total_iterations=9,
+                       until_convergence=False)
+        assert engine.metrics.hybrid_iterations == 5

@@ -1,0 +1,127 @@
+"""Unit tests for the IncrementalAlgorithm programming model."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import CoEM, PageRank
+from repro.core.aggregation import SumAggregation
+from repro.core.model import IncrementalAlgorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.mutable import StreamingGraph
+from repro.graph.mutation import MutationBatch
+
+
+class Doubler(IncrementalAlgorithm):
+    """Minimal concrete algorithm for model-level tests."""
+
+    name = "doubler"
+    value_shape = ()
+
+    def __init__(self, tolerance=None):
+        super().__init__(SumAggregation(), tolerance)
+
+    def initial_values(self, graph):
+        return np.ones(graph.num_vertices)
+
+    def contributions(self, graph, src_values, src, dst, weight):
+        return src_values * weight
+
+    def apply(self, graph, aggregate_values, vertices,
+              previous_values=None):
+        return 2.0 * aggregate_values
+
+
+class TestToleranceAndChange:
+    def test_constructor_tolerance_overrides_class(self):
+        assert Doubler().tolerance == 1e-12
+        assert Doubler(tolerance=0.5).tolerance == 0.5
+
+    def test_values_changed_scalar(self):
+        algo = Doubler(tolerance=0.1)
+        old = np.array([1.0, 1.0, 1.0])
+        new = np.array([1.05, 1.5, 1.0])
+        assert algo.values_changed(old, new).tolist() == [False, True, False]
+
+    def test_values_changed_vector_any_component(self):
+        algo = Doubler(tolerance=0.1)
+        old = np.zeros((2, 2))
+        new = np.array([[0.0, 0.5], [0.01, 0.01]])
+        assert algo.values_changed(old, new).tolist() == [True, False]
+
+
+class TestShapes:
+    def test_aggregation_shape_defaults_to_value_shape(self):
+        assert Doubler().aggregation_shape == ()
+
+    def test_identity_aggregate(self):
+        identity = Doubler().identity_aggregate(4)
+        assert identity.shape == (4,)
+        assert np.all(identity == 0.0)
+
+
+class TestExtendValues:
+    def test_grows_with_initial_fill(self):
+        algo = Doubler()
+        small = CSRGraph.from_edges([(0, 1)], num_vertices=2)
+        big = CSRGraph.from_edges([(0, 1)], num_vertices=4)
+        values = algo.initial_values(small) * 7
+        extended = algo.extend_values(values, big)
+        assert extended.tolist() == [7.0, 7.0, 1.0, 1.0]
+
+    def test_same_size_is_identity(self):
+        algo = Doubler()
+        graph = CSRGraph.from_edges([(0, 1)], num_vertices=2)
+        values = np.array([3.0, 4.0])
+        assert algo.extend_values(values, graph) is values
+
+    def test_cannot_shrink(self):
+        algo = Doubler()
+        graph = CSRGraph.from_edges([(0, 1)], num_vertices=2)
+        with pytest.raises(ValueError):
+            algo.extend_values(np.ones(5), graph)
+
+
+class TestParamChangeHooks:
+    def _mutate(self, batch):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)],
+                                    num_vertices=3)
+        return StreamingGraph(graph).apply_batch(batch)
+
+    def test_defaults_are_empty(self):
+        mutation = self._mutate(MutationBatch.from_edges(additions=[(0, 2)]))
+        algo = Doubler()
+        assert algo.contribution_params_changed(mutation).size == 0
+        assert algo.apply_params_changed(mutation).size == 0
+
+    def test_pagerank_reports_out_changed(self):
+        mutation = self._mutate(
+            MutationBatch.from_edges(additions=[(0, 2)], deletions=[(1, 2)])
+        )
+        changed = PageRank().contribution_params_changed(mutation)
+        assert changed.tolist() == [0, 1]
+
+    def test_coem_reports_in_changed(self):
+        mutation = self._mutate(
+            MutationBatch.from_edges(additions=[(0, 2)], deletions=[(1, 2)])
+        )
+        changed = CoEM().apply_params_changed(mutation)
+        assert changed.tolist() == [2]
+
+    def test_repr(self):
+        assert "sum" in repr(Doubler())
+
+
+class TestMalformedAlgorithms:
+    def test_wrong_contribution_shape_reported_clearly(self):
+        from repro.graph.generators import cycle_graph
+        from repro.ligra.delta import DeltaEngine
+
+        class Broken(Doubler):
+            name = "broken"
+
+            def contributions(self, graph, src_values, src, dst, weight):
+                return np.ones((src.size, 3))  # scalar algorithm!
+
+        engine = DeltaEngine(Broken())
+        with pytest.raises(ValueError, match="broken.contributions"):
+            engine.run(cycle_graph(4), 2)

@@ -1,0 +1,51 @@
+"""Unit tests for pruning policies."""
+
+import pytest
+
+from repro.core.pruning import PruningPolicy
+
+
+class TestValidation:
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            PruningPolicy(horizon=-1)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            PruningPolicy(adaptive_fraction=1.5)
+        with pytest.raises(ValueError):
+            PruningPolicy(adaptive_fraction=-0.1)
+
+    def test_track_everything(self):
+        policy = PruningPolicy.track_everything()
+        assert policy.horizon is None
+        assert policy.adaptive_fraction is None
+        assert policy.vertical
+
+
+class TestHorizontal:
+    def test_fixed_horizon(self):
+        policy = PruningPolicy(horizon=3)
+        assert policy.should_track(3, 100, 1000, False)
+        assert not policy.should_track(4, 100, 1000, False)
+
+    def test_horizon_zero_tracks_nothing(self):
+        policy = PruningPolicy(horizon=0)
+        assert not policy.should_track(1, 100, 1000, False)
+
+    def test_adaptive_cutoff(self):
+        policy = PruningPolicy(adaptive_fraction=0.1)
+        assert policy.should_track(2, 500, 1000, False)
+        assert not policy.should_track(2, 50, 1000, False)
+
+    def test_tracking_never_resumes(self):
+        policy = PruningPolicy(adaptive_fraction=0.1)
+        assert not policy.should_track(5, 900, 1000, True)
+
+    def test_no_pruning_tracks_forever(self):
+        policy = PruningPolicy.track_everything()
+        assert policy.should_track(10_000, 0, 1000, False)
+
+    def test_empty_graph_edge_case(self):
+        policy = PruningPolicy(adaptive_fraction=0.5)
+        assert policy.should_track(2, 0, 0, False)

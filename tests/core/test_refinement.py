@@ -1,0 +1,224 @@
+"""The central correctness contract (paper Theorem 4.1).
+
+For every algorithm, graph, and mutation batch, dependency-driven
+refinement followed by hybrid forward execution must produce the same
+values as a from-scratch synchronous run on the mutated graph -- across
+additions, deletions, mixed batches, weight replacement, vertex growth,
+and multi-batch streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    BeliefPropagation,
+    CoEM,
+    CollaborativeFiltering,
+    ConnectedComponents,
+    LabelPropagation,
+    PageRank,
+    SSSP,
+)
+from repro.core.engine import GraphBoltEngine
+from repro.core.pruning import PruningPolicy
+from repro.graph.generators import bipartite_graph, rmat
+from repro.graph.mutation import MutationBatch
+from repro.ligra.engine import LigraEngine
+from repro.runtime.validation import assert_same_results
+from tests.conftest import make_random_batch
+
+CASES = [
+    pytest.param(lambda: PageRank(), "rmat", 10, id="pagerank"),
+    pytest.param(lambda: LabelPropagation(num_labels=4), "rmat", 10,
+                 id="label_propagation"),
+    pytest.param(lambda: CoEM(), "rmat", 10, id="coem"),
+    pytest.param(lambda: BeliefPropagation(num_states=3), "rmat", 10,
+                 id="belief_propagation"),
+    pytest.param(lambda: CollaborativeFiltering(num_factors=3), "bipartite",
+                 10, id="collaborative_filtering"),
+    pytest.param(lambda: SSSP(source=0), "rmat", 40, id="sssp"),
+    pytest.param(lambda: BFS(source=0), "rmat", 40, id="bfs"),
+    pytest.param(lambda: ConnectedComponents(), "rmat", 40, id="cc"),
+]
+
+
+def build_graph(kind):
+    if kind == "bipartite":
+        return bipartite_graph(80, 40, 5, seed=7)
+    return rmat(scale=8, edge_factor=6, seed=3, weighted=True)
+
+
+def check(engine, factory, iterations, tolerance=1e-6):
+    truth = LigraEngine(factory()).run(engine.graph, iterations)
+    actual = engine.values
+    filled_truth = np.where(np.isinf(truth), -1.0, truth)
+    filled_actual = np.where(np.isinf(actual), -1.0, actual)
+    assert_same_results(filled_actual, filled_truth, tolerance=tolerance)
+
+
+@pytest.mark.parametrize("factory,kind,iterations", CASES)
+class TestRefinementEqualsScratch:
+    def make_engine(self, factory, iterations, graph, **kwargs):
+        engine = GraphBoltEngine(factory(), num_iterations=iterations,
+                                 **kwargs)
+        engine.run(graph)
+        return engine
+
+    def test_additions_only(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = self.make_engine(factory, iterations, graph)
+        batch = make_random_batch(engine.graph, rng, num_adds=25,
+                                  num_dels=0)
+        engine.apply_mutations(batch)
+        check(engine, factory, iterations)
+
+    def test_deletions_only(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = self.make_engine(factory, iterations, graph)
+        batch = make_random_batch(engine.graph, rng, num_adds=0,
+                                  num_dels=25)
+        engine.apply_mutations(batch)
+        check(engine, factory, iterations)
+
+    def test_mixed_stream(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = self.make_engine(factory, iterations, graph)
+        for _ in range(4):
+            batch = make_random_batch(engine.graph, rng, num_adds=15,
+                                      num_dels=15)
+            engine.apply_mutations(batch)
+        check(engine, factory, iterations)
+
+    def test_single_edge_mutations(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = self.make_engine(factory, iterations, graph)
+        for _ in range(3):
+            batch = make_random_batch(engine.graph, rng, num_adds=1,
+                                      num_dels=0)
+            engine.apply_mutations(batch)
+        check(engine, factory, iterations)
+
+    def test_vertex_growth(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = self.make_engine(factory, iterations, graph)
+        fresh = engine.graph.num_vertices + 2
+        batch = MutationBatch.from_edges(
+            additions=[(0, fresh - 1), (fresh - 1, 1), (fresh - 2, 0)],
+            grow_to=fresh,
+        )
+        engine.apply_mutations(batch)
+        assert engine.graph.num_vertices == fresh
+        check(engine, factory, iterations)
+
+    def test_weight_replacement(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = self.make_engine(factory, iterations, graph)
+        src, dst, _ = engine.graph.all_edges()
+        edge = (int(src[0]), int(dst[0]))
+        batch = MutationBatch.from_edges(
+            additions=[edge], deletions=[edge], add_weights=[2.25]
+        )
+        engine.apply_mutations(batch)
+        assert engine.graph.edge_weight(*edge) == 2.25
+        check(engine, factory, iterations)
+
+    def test_pruned_horizon_hybrid(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = self.make_engine(
+            factory, iterations, graph,
+            pruning=PruningPolicy(horizon=max(iterations // 3, 1)),
+        )
+        for _ in range(3):
+            batch = make_random_batch(engine.graph, rng, num_adds=10,
+                                      num_dels=10)
+            engine.apply_mutations(batch)
+        check(engine, factory, iterations)
+        if iterations == 10:
+            # Fixed-window algorithms must actually exercise the hybrid
+            # forward phase; converging path algorithms may finish
+            # within the refined window (an empty frontier), which is
+            # the hybrid loop's early exit.
+            assert engine.metrics.hybrid_iterations > 0
+
+    def test_empty_batch_is_noop(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = self.make_engine(factory, iterations, graph)
+        before = engine.values.copy()
+        engine.apply_mutations(MutationBatch.empty())
+        assert np.array_equal(
+            np.where(np.isinf(engine.values), -1, engine.values),
+            np.where(np.isinf(before), -1, before),
+        )
+
+    def test_retract_propagate_mode(self, factory, kind, iterations, rng):
+        algorithm = factory()
+        if not algorithm.aggregation.decomposable:
+            pytest.skip("RP mode applies to decomposable aggregations")
+        graph = build_graph(kind)
+        engine = GraphBoltEngine(algorithm, num_iterations=iterations,
+                                 mode="retract_propagate")
+        engine.run(graph)
+        batch = make_random_batch(engine.graph, rng, num_adds=15,
+                                  num_dels=15)
+        engine.apply_mutations(batch)
+        check(engine, factory, iterations)
+
+    def test_convergence_mode(self, factory, kind, iterations, rng):
+        graph = build_graph(kind)
+        engine = GraphBoltEngine(factory(), until_convergence=True,
+                                 max_iterations=120)
+        engine.run(graph)
+        batch = make_random_batch(engine.graph, rng, num_adds=15,
+                                  num_dels=15)
+        engine.apply_mutations(batch)
+        truth = LigraEngine(factory()).run(
+            engine.graph, until_convergence=True, max_iterations=120
+        )
+        filled_truth = np.where(np.isinf(truth), -1.0, truth)
+        filled_actual = np.where(np.isinf(engine.values), -1.0,
+                                 engine.values)
+        assert_same_results(filled_actual, filled_truth, tolerance=1e-5)
+
+
+class TestRefinementWorkReduction:
+    def test_small_batches_touch_few_edges(self, rng):
+        graph = rmat(scale=10, edge_factor=8, seed=11, weighted=True)
+        algorithm = BeliefPropagation(num_states=2, tolerance=1e-4)
+        engine = GraphBoltEngine(algorithm, num_iterations=10)
+        engine.run(graph)
+        before = engine.metrics.snapshot()
+        batch = make_random_batch(engine.graph, rng, num_adds=2, num_dels=2)
+        engine.apply_mutations(batch)
+        delta = engine.metrics.delta_since(before)
+        full_work = graph.num_edges * 10
+        assert delta.edge_computations < full_work * 0.5
+
+    def test_dense_fraction_zero_always_rebuilds(self, rng):
+        graph = rmat(scale=7, edge_factor=4, seed=2, weighted=True)
+        engine = GraphBoltEngine(PageRank(), num_iterations=5,
+                                 dense_refine_fraction=0.0)
+        engine.run(graph)
+        before = engine.metrics.snapshot()
+        engine.apply_mutations(
+            make_random_batch(engine.graph, rng, num_adds=1, num_dels=0)
+        )
+        delta = engine.metrics.delta_since(before)
+        # Five refinement iterations, each a dense sweep.
+        assert delta.edge_computations >= engine.graph.num_edges * 5
+        check(engine, lambda: PageRank(), 5)
+
+    def test_dense_fraction_never_matches_sparse_results(self, rng):
+        graph = rmat(scale=7, edge_factor=4, seed=2, weighted=True)
+        results = []
+        for fraction in (0.0, 2.0):
+            engine = GraphBoltEngine(LabelPropagation(), num_iterations=8,
+                                     dense_refine_fraction=fraction)
+            engine.run(graph)
+            rng_local = np.random.default_rng(99)
+            engine.apply_mutations(
+                make_random_batch(engine.graph, rng_local,
+                                  num_adds=10, num_dels=10)
+            )
+            results.append(engine.values)
+        assert_same_results(results[0], results[1], tolerance=1e-8)

@@ -1,0 +1,61 @@
+"""Unit tests for the tag-propagation analysis."""
+
+import numpy as np
+
+from repro.core.tagging import downstream_tagged, tagged_fraction
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import cycle_graph, star_graph
+from repro.graph.mutable import StreamingGraph
+from repro.graph.mutation import MutationBatch
+
+
+class TestDownstreamTagged:
+    def test_hop_bounded(self):
+        graph = cycle_graph(10)
+        tagged = downstream_tagged(graph, np.array([0]), max_hops=3)
+        assert np.flatnonzero(tagged).tolist() == [0, 1, 2, 3]
+
+    def test_unbounded_closure(self):
+        graph = cycle_graph(10)
+        tagged = downstream_tagged(graph, np.array([0]), max_hops=None)
+        assert tagged.all()
+
+    def test_multiple_seeds(self):
+        graph = CSRGraph.from_edges([(0, 1), (2, 3)], num_vertices=5)
+        tagged = downstream_tagged(graph, np.array([0, 2]), max_hops=1)
+        assert np.flatnonzero(tagged).tolist() == [0, 1, 2, 3]
+
+    def test_no_seeds(self):
+        graph = cycle_graph(4)
+        tagged = downstream_tagged(graph, np.array([], dtype=np.int64),
+                                   max_hops=2)
+        assert not tagged.any()
+
+    def test_hub_taints_everything_in_one_hop(self):
+        graph = star_graph(20, outward=True)
+        tagged = downstream_tagged(graph, np.array([0]), max_hops=1)
+        assert tagged.all()
+
+
+class TestTaggedFraction:
+    def test_empty_mutation_is_zero(self):
+        graph = cycle_graph(6)
+        mutation = StreamingGraph(graph).apply_batch(MutationBatch.empty())
+        assert tagged_fraction(mutation, 10) == 0.0
+
+    def test_isolated_mutation_is_local(self):
+        graph = CSRGraph.from_edges([(0, 1)], num_vertices=100)
+        mutation = StreamingGraph(graph).apply_batch(
+            MutationBatch.from_edges(additions=[(2, 3)])
+        )
+        fraction = tagged_fraction(mutation, 10)
+        assert fraction == 2 / 100  # the two endpoints only
+
+    def test_window_bounds_the_taint(self):
+        graph = cycle_graph(100)
+        mutation = StreamingGraph(graph).apply_batch(
+            MutationBatch.from_edges(additions=[(0, 50)])
+        )
+        short = tagged_fraction(mutation, 2)
+        long = tagged_fraction(mutation, 20)
+        assert short < long <= 1.0

@@ -1,0 +1,100 @@
+"""Tests for the GraphIn-style tag-and-recompute corrector."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LabelPropagation, PageRank, SSSP
+from repro.core.engine import GraphBoltEngine
+from repro.core.tagreset import TagResetEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+from repro.graph.mutation import MutationBatch
+from repro.ligra.engine import LigraEngine
+from tests.conftest import make_random_batch
+
+FACTORIES = [
+    pytest.param(lambda: PageRank(), 8, id="pagerank"),
+    pytest.param(lambda: LabelPropagation(num_labels=3), 8,
+                 id="label_propagation"),
+    pytest.param(lambda: SSSP(source=0), 25, id="sssp"),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("factory,iterations", FACTORIES)
+    def test_equals_from_scratch(self, factory, iterations, rng):
+        graph = rmat(scale=7, edge_factor=5, seed=120, weighted=True)
+        engine = TagResetEngine(factory(), num_iterations=iterations)
+        engine.run(graph)
+        for _ in range(3):
+            batch = make_random_batch(engine.graph, rng, 10, 10)
+            values = engine.apply_mutations(batch)
+            truth = LigraEngine(factory()).run(engine.graph, iterations)
+            filled_v = np.where(np.isinf(values), -1.0, values)
+            filled_t = np.where(np.isinf(truth), -1.0, truth)
+            assert np.allclose(filled_v, filled_t, atol=1e-6)
+
+    def test_requires_run_first(self):
+        engine = TagResetEngine(PageRank())
+        with pytest.raises(RuntimeError):
+            engine.apply_mutations(MutationBatch.empty())
+
+    def test_vertex_growth(self, rng):
+        graph = rmat(scale=6, edge_factor=4, seed=121, weighted=True)
+        engine = TagResetEngine(PageRank(), num_iterations=6)
+        engine.run(graph)
+        grown = graph.num_vertices + 2
+        values = engine.apply_mutations(MutationBatch.from_edges(
+            additions=[(0, grown - 1)], grow_to=grown,
+        ))
+        truth = LigraEngine(PageRank()).run(engine.graph, 6)
+        assert np.allclose(values, truth, atol=1e-8)
+
+
+class TestWastefulness:
+    """The paper's section 2.2 point, quantified as a test."""
+
+    def test_tags_majority_and_outworks_graphbolt(self, rng):
+        graph = rmat(scale=9, edge_factor=8, seed=122, weighted=True)
+        factory = lambda: LabelPropagation(num_labels=3, seed_every=3,
+                                           tolerance=1e-3)
+        tag_engine = TagResetEngine(factory(), num_iterations=10)
+        tag_engine.run(graph)
+        bolt_engine = GraphBoltEngine(factory(), num_iterations=10)
+        bolt_engine.run(graph)
+
+        batch = make_random_batch(graph, rng, 3, 3)
+        tag_before = tag_engine.metrics.snapshot()
+        tag_engine.apply_mutations(batch)
+        tag_edges = tag_engine.metrics.delta_since(
+            tag_before
+        ).edge_computations
+        bolt_before = bolt_engine.metrics.snapshot()
+        bolt_engine.apply_mutations(batch)
+        bolt_edges = bolt_engine.metrics.delta_since(
+            bolt_before
+        ).edge_computations
+
+        # Majority of the graph is tagged by a 6-mutation batch...
+        assert tag_engine.last_tagged > graph.num_vertices * 0.5
+        # ...so tag-reset performs far more edge work than refinement.
+        assert tag_edges > bolt_edges * 3, (tag_edges, bolt_edges)
+        # Both remain correct within the 1e-3 scheduling tolerance this
+        # bench-style configuration runs at.
+        truth = LigraEngine(factory()).run(bolt_engine.graph, 10)
+        assert np.allclose(tag_engine.values, truth, atol=5e-3)
+        assert np.allclose(bolt_engine.values, truth, atol=5e-3)
+
+    def test_local_mutation_on_sparse_chain_is_cheap(self):
+        # Fairness check: where tagging IS local, tag-reset is fine.
+        edges = [(i, i + 1) for i in range(50)]
+        graph = CSRGraph.from_edges(edges, num_vertices=51)
+        engine = TagResetEngine(PageRank(), num_iterations=5)
+        engine.run(graph)
+        engine.apply_mutations(MutationBatch.from_edges(
+            deletions=[(40, 41)]
+        ))
+        # Tags: endpoints + 5 hops downstream of vertex 41's region.
+        assert engine.last_tagged <= 10
+        truth = LigraEngine(PageRank()).run(engine.graph, 5)
+        assert np.allclose(engine.values, truth, atol=1e-9)

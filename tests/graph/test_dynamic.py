@@ -1,0 +1,203 @@
+"""Tests for the STINGER-inspired dynamic structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import CoEM, PageRank, WeightedPageRank
+from repro.core.engine import GraphBoltEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import (
+    DynamicGraph,
+    DynamicStreamingGraph,
+    FrozenGraphParams,
+)
+from repro.graph.generators import rmat
+from repro.graph.mutation import MutationBatch
+from repro.ligra.engine import LigraEngine
+from tests.conftest import make_random_batch
+
+
+def base_csr():
+    return CSRGraph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 3)], num_vertices=4,
+        weights=[1.0, 2.0, 3.0, 4.0],
+    )
+
+
+class TestStructure:
+    def test_from_csr_preserves_edges(self):
+        csr = rmat(scale=7, edge_factor=5, seed=70, weighted=True)
+        dynamic = DynamicGraph.from_csr(csr)
+        assert dynamic.edge_set() == csr.edge_set()
+        assert dynamic.num_edges == csr.num_edges
+        assert np.array_equal(dynamic.out_degrees(), csr.out_degrees())
+        assert np.array_equal(dynamic.in_degrees(), csr.in_degrees())
+
+    def test_insert_and_delete(self):
+        graph = DynamicGraph.from_csr(base_csr())
+        assert graph.insert_edge(3, 1, 5.0)
+        assert graph.has_edge(3, 1)
+        assert graph.edge_weight(3, 1) == 5.0
+        assert graph.num_edges == 5
+        assert graph.delete_edge(3, 1) == 5.0
+        assert not graph.has_edge(3, 1)
+        assert graph.num_edges == 4
+
+    def test_duplicate_insert_refused(self):
+        graph = DynamicGraph.from_csr(base_csr())
+        assert not graph.insert_edge(0, 1, 9.0)
+        assert graph.edge_weight(0, 1) == 1.0
+
+    def test_delete_absent_returns_none(self):
+        graph = DynamicGraph.from_csr(base_csr())
+        assert graph.delete_edge(3, 0) is None
+
+    def test_overflow_triggers_repack(self):
+        graph = DynamicGraph.from_csr(base_csr())
+        for target in range(4, 40):
+            graph.grow_vertices(target + 1)
+            graph.insert_edge(0, target, 1.0)
+        assert graph.repacks > 0
+        assert graph.out_degree(0) == 1 + 36
+
+    def test_both_directions_stay_consistent(self):
+        graph = DynamicGraph.from_csr(base_csr())
+        graph.insert_edge(3, 1, 2.0)
+        graph.delete_edge(2, 0)
+        src_out = sorted(zip(*[arr.tolist()
+                               for arr in graph.all_edges()[:2]]))
+        in_src, in_dst, _ = graph.in_edges_of(
+            np.arange(graph.num_vertices)
+        )
+        src_in = sorted(zip(in_src.tolist(), in_dst.tolist()))
+        assert src_out == src_in
+
+    def test_gathers_match_csr(self):
+        csr = rmat(scale=7, edge_factor=5, seed=71, weighted=True)
+        dynamic = DynamicGraph.from_csr(csr)
+        subset = np.array([0, 5, 17])
+        c_src, c_dst, c_w = csr.out_edges_of(subset)
+        d_src, d_dst, d_w = dynamic.out_edges_of(subset)
+        assert sorted(zip(c_src.tolist(), c_dst.tolist(), c_w.tolist())) \
+            == sorted(zip(d_src.tolist(), d_dst.tolist(), d_w.tolist()))
+
+    def test_weight_sum_caches_invalidate(self):
+        graph = DynamicGraph.from_csr(base_csr())
+        before = graph.out_weight_sums()[0]
+        graph.insert_edge(0, 3, 10.0)
+        assert graph.out_weight_sums()[0] == before + 10.0
+        before_in = graph.in_weight_sums()[1]
+        graph.delete_edge(0, 1)
+        assert graph.in_weight_sums()[1] == before_in - 1.0
+
+    def test_to_csr_roundtrip(self):
+        graph = DynamicGraph.from_csr(base_csr())
+        graph.insert_edge(3, 0, 1.5)
+        csr = graph.to_csr()
+        assert csr.edge_set() == graph.edge_set()
+
+
+class TestStreamingAdapter:
+    def test_mutation_result_fields(self):
+        stream = DynamicStreamingGraph(base_csr())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(3, 0), (0, 1)],
+                                     deletions=[(1, 2), (0, 3)])
+        )
+        assert result.add_src.tolist() == [3]
+        assert result.skipped_additions == 1
+        assert result.del_src.tolist() == [1]
+        assert result.del_weight.tolist() == [2.0]
+        assert result.skipped_deletions == 1
+        assert result.out_changed_vertices().tolist() == [1, 3]
+        assert result.in_changed_vertices().tolist() == [0, 2]
+
+    def test_frozen_old_params(self):
+        stream = DynamicStreamingGraph(base_csr())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(0, 2)])
+        )
+        old = result.old_graph
+        assert isinstance(old, FrozenGraphParams)
+        assert old.out_degrees()[0] == 1  # pre-mutation degree
+        assert stream.graph.out_degrees()[0] == 2
+
+    def test_growth(self):
+        stream = DynamicStreamingGraph(base_csr())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(0, 7)])
+        )
+        assert result.grew()
+        assert stream.num_vertices == 8
+        assert 7 in result.in_changed_vertices().tolist()
+
+    def test_added_edge_mask(self):
+        stream = DynamicStreamingGraph(base_csr())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(3, 0)])
+        )
+        mask = result.added_edge_mask()
+        src, slots = stream.graph.out_edge_slots(np.array([3]))
+        flagged = mask[slots]
+        targets = stream.graph.out_targets[slots]
+        assert flagged[targets == 0].all()
+        assert not flagged[targets != 0].any()
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("factory", [
+        pytest.param(lambda: PageRank(), id="pagerank"),
+        pytest.param(lambda: CoEM(), id="coem"),
+        pytest.param(lambda: WeightedPageRank(), id="weighted_pagerank"),
+    ])
+    def test_refinement_exact_on_dynamic_backend(self, factory, rng):
+        graph = rmat(scale=8, edge_factor=6, seed=72, weighted=True)
+        engine = GraphBoltEngine(
+            factory(), num_iterations=10,
+            streaming_factory=DynamicStreamingGraph,
+        )
+        engine.run(graph)
+        for _ in range(4):
+            batch = make_random_batch(engine.graph, rng, 15, 15)
+            engine.apply_mutations(batch)
+        truth = LigraEngine(factory()).run(engine.graph.to_csr(), 10)
+        assert np.allclose(engine.values, truth, atol=1e-7)
+
+
+@st.composite
+def mutation_trace(draw):
+    num_vertices = draw(st.integers(2, 10))
+    def edge():
+        return st.tuples(
+            st.integers(0, num_vertices - 1),
+            st.integers(0, num_vertices - 1),
+        ).filter(lambda e: e[0] != e[1])
+    edges = draw(st.lists(edge(), max_size=20))
+    ops = draw(
+        st.lists(st.tuples(st.booleans(), edge()), max_size=40)
+    )
+    return num_vertices, edges, ops
+
+
+class TestAgainstSetModel:
+    @given(mutation_trace())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_set_semantics(self, data):
+        num_vertices, edges, ops = data
+        initial = sorted(set(edges))
+        csr = CSRGraph.from_edges(initial, num_vertices=num_vertices)
+        graph = DynamicGraph.from_csr(csr)
+        model = set(initial)
+        for is_insert, (u, v) in ops:
+            if is_insert:
+                inserted = graph.insert_edge(u, v, 1.0)
+                assert inserted == ((u, v) not in model)
+                model.add((u, v))
+            else:
+                weight = graph.delete_edge(u, v)
+                assert (weight is not None) == ((u, v) in model)
+                model.discard((u, v))
+            assert graph.edge_set() == model
+            assert graph.num_edges == len(model)

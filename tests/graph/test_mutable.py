@@ -1,0 +1,199 @@
+"""Unit and property tests for the streaming graph's batch application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.mutable import StreamingGraph
+from repro.graph.mutation import MutationBatch
+
+
+def base_graph():
+    return CSRGraph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 3)], num_vertices=4,
+        weights=[1.0, 2.0, 3.0, 4.0],
+    )
+
+
+class TestApplyBatch:
+    def test_addition(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(3, 0)])
+        )
+        assert stream.graph.has_edge(3, 0)
+        assert result.add_src.tolist() == [3]
+        assert result.skipped_additions == 0
+
+    def test_deletion(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(deletions=[(1, 2)])
+        )
+        assert not stream.graph.has_edge(1, 2)
+        assert result.del_src.tolist() == [1]
+        assert result.del_weight.tolist() == [2.0]
+
+    def test_duplicate_addition_skipped(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(0, 1), (3, 0)])
+        )
+        assert result.skipped_additions == 1
+        assert result.add_src.tolist() == [3]
+        assert stream.graph.num_edges == 5
+
+    def test_absent_deletion_skipped(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(deletions=[(0, 3), (1, 2)])
+        )
+        assert result.skipped_deletions == 1
+        assert stream.graph.num_edges == 3
+
+    def test_delete_then_readd_replaces_weight(self):
+        stream = StreamingGraph(base_graph())
+        batch = MutationBatch.from_edges(
+            additions=[(0, 1)], deletions=[(0, 1)], add_weights=[9.0]
+        )
+        result = stream.apply_batch(batch)
+        assert stream.graph.edge_weight(0, 1) == 9.0
+        assert result.add_src.tolist() == [0]
+        assert result.del_src.tolist() == [0]
+
+    def test_delete_and_add_of_absent_edge_is_plain_add(self):
+        stream = StreamingGraph(base_graph())
+        batch = MutationBatch.from_edges(
+            additions=[(3, 1)], deletions=[(3, 1)]
+        )
+        result = stream.apply_batch(batch)
+        assert stream.graph.has_edge(3, 1)
+        assert result.skipped_deletions == 1
+        assert result.del_src.size == 0
+
+    def test_previous_snapshot_retained(self):
+        stream = StreamingGraph(base_graph())
+        assert stream.previous is None
+        old = stream.graph
+        stream.apply_batch(MutationBatch.from_edges(additions=[(3, 1)]))
+        assert stream.previous is old
+        assert old.num_edges == 4
+
+    def test_vertex_growth_implicit(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(0, 6)])
+        )
+        assert stream.num_vertices == 7
+        assert result.grew()
+
+    def test_vertex_growth_explicit(self):
+        stream = StreamingGraph(base_graph())
+        stream.apply_batch(MutationBatch(grow_to=9))
+        assert stream.num_vertices == 9
+        assert stream.num_edges == 4
+
+    def test_empty_batch(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(MutationBatch.empty())
+        assert result.num_applied == 0
+        assert stream.num_edges == 4
+
+    def test_batches_applied_counter(self):
+        stream = StreamingGraph(base_graph())
+        stream.apply_batch(MutationBatch.empty())
+        stream.apply_batch(MutationBatch.empty())
+        assert stream.batches_applied == 2
+
+
+class TestMutationResult:
+    def test_out_changed_vertices(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(3, 0)], deletions=[(1, 2)])
+        )
+        assert result.out_changed_vertices().tolist() == [1, 3]
+
+    def test_in_changed_vertices(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(3, 0)], deletions=[(1, 2)])
+        )
+        assert result.in_changed_vertices().tolist() == [0, 2]
+
+    def test_changed_vertices_include_new_ids(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(0, 5)])
+        )
+        assert 4 in result.out_changed_vertices().tolist()
+        assert 5 in result.in_changed_vertices().tolist()
+
+    def test_added_edge_mask(self):
+        stream = StreamingGraph(base_graph())
+        result = stream.apply_batch(
+            MutationBatch.from_edges(additions=[(3, 0), (0, 2)])
+        )
+        mask = result.added_edge_mask()
+        graph = stream.graph
+        assert mask.sum() == 2
+        src, dst, _ = graph.all_edges()
+        flagged = set(zip(src[mask].tolist(), dst[mask].tolist()))
+        assert flagged == {(3, 0), (0, 2)}
+
+
+@st.composite
+def graph_and_batches(draw):
+    num_vertices = draw(st.integers(2, 12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_vertices - 1),
+                st.integers(0, num_vertices - 1),
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=30,
+        )
+    )
+    batches = draw(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.tuples(
+                        st.integers(0, num_vertices - 1),
+                        st.integers(0, num_vertices - 1),
+                    ),
+                    max_size=8,
+                ),
+                st.lists(
+                    st.tuples(
+                        st.integers(0, num_vertices - 1),
+                        st.integers(0, num_vertices - 1),
+                    ),
+                    max_size=8,
+                ),
+            ),
+            max_size=4,
+        )
+    )
+    return num_vertices, edges, batches
+
+
+class TestAgainstSetModel:
+    @given(graph_and_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_set_semantics(self, data):
+        num_vertices, edges, batches = data
+        graph = CSRGraph.from_edges(set(edges), num_vertices=num_vertices)
+        stream = StreamingGraph(graph)
+        model = set(graph.edge_set())
+        for additions, deletions in batches:
+            batch = MutationBatch.from_edges(additions=additions,
+                                             deletions=deletions)
+            stream.apply_batch(batch)
+            for edge in batch.deletions():
+                model.discard(edge)
+            for src, dst, _ in batch.additions():
+                model.add((src, dst))
+            assert stream.graph.edge_set() == model

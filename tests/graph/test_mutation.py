@@ -1,0 +1,110 @@
+"""Unit tests for mutation batches."""
+
+import numpy as np
+import pytest
+
+from repro.graph.mutation import MutationBatch
+
+
+class TestConstruction:
+    def test_empty(self):
+        batch = MutationBatch.empty()
+        assert len(batch) == 0
+        assert not batch
+
+    def test_counts(self):
+        batch = MutationBatch.from_edges(
+            additions=[(0, 1), (1, 2)], deletions=[(2, 3)]
+        )
+        assert batch.num_additions == 2
+        assert batch.num_deletions == 1
+        assert len(batch) == 3
+        assert batch
+
+    def test_grow_to_only_batch_is_truthy(self):
+        assert MutationBatch(grow_to=10)
+
+    def test_default_weights(self):
+        batch = MutationBatch.from_edges(additions=[(0, 1)])
+        assert batch.add_weight.tolist() == [1.0]
+
+    def test_explicit_weights(self):
+        batch = MutationBatch.from_edges(
+            additions=[(0, 1), (2, 3)], add_weights=[0.5, 1.5]
+        )
+        assert batch.add_weight.tolist() == [0.5, 1.5]
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MutationBatch(add_src=[-1], add_dst=[0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="match"):
+            MutationBatch(add_src=[0, 1], add_dst=[1])
+        with pytest.raises(ValueError, match="match"):
+            MutationBatch(del_src=[0], del_dst=[1, 2])
+        with pytest.raises(ValueError, match="weights"):
+            MutationBatch(add_src=[0], add_dst=[1], add_weight=[1.0, 2.0])
+
+
+class TestNormalisation:
+    def test_duplicate_additions_deduped_first_wins(self):
+        batch = MutationBatch.from_edges(
+            additions=[(0, 1), (0, 1), (1, 2)], add_weights=[2.0, 9.0, 1.0]
+        )
+        assert batch.num_additions == 2
+        adds = dict(((s, d), w) for s, d, w in batch.additions())
+        assert adds[(0, 1)] == 2.0
+
+    def test_duplicate_deletions_deduped(self):
+        batch = MutationBatch.from_edges(deletions=[(0, 1), (0, 1)])
+        assert batch.num_deletions == 1
+
+    def test_add_and_delete_of_same_edge_kept_as_replace(self):
+        # Deletions apply before additions, so the pair means "replace".
+        batch = MutationBatch.from_edges(
+            additions=[(0, 1), (1, 2)], deletions=[(0, 1)]
+        )
+        assert batch.num_additions == 2
+        assert batch.num_deletions == 1
+
+    def test_self_loops_dropped(self):
+        batch = MutationBatch.from_edges(
+            additions=[(3, 3), (0, 1)], deletions=[(2, 2)]
+        )
+        assert batch.num_additions == 1
+        assert batch.num_deletions == 0
+        assert batch.dropped_self_loops == 2
+
+
+class TestQueries:
+    def test_max_vertex(self):
+        batch = MutationBatch.from_edges(
+            additions=[(0, 9)], deletions=[(4, 2)]
+        )
+        assert batch.max_vertex() == 9
+
+    def test_max_vertex_includes_grow_to(self):
+        batch = MutationBatch(grow_to=20)
+        assert batch.max_vertex() == 19
+
+    def test_max_vertex_empty(self):
+        assert MutationBatch.empty().max_vertex() == -1
+
+    def test_iterators(self):
+        batch = MutationBatch.from_edges(
+            additions=[(0, 1)], deletions=[(2, 3)], add_weights=[0.25]
+        )
+        assert list(batch.additions()) == [(0, 1, 0.25)]
+        assert list(batch.deletions()) == [(2, 3)]
+
+    def test_repr(self):
+        batch = MutationBatch.from_edges(additions=[(0, 1)], grow_to=5)
+        text = repr(batch)
+        assert "+1" in text and "grow_to=5" in text
+
+    def test_numpy_inputs(self):
+        batch = MutationBatch(
+            add_src=np.array([0, 1]), add_dst=np.array([1, 2])
+        )
+        assert batch.num_additions == 2

@@ -1,0 +1,109 @@
+"""Unit tests for VertexSubset."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.ligra.frontier import VertexSubset
+
+
+class TestConstruction:
+    def test_from_ids_dedups_and_sorts(self):
+        subset = VertexSubset.from_ids(10, [5, 2, 5, 7])
+        assert subset.ids.tolist() == [2, 5, 7]
+        assert len(subset) == 3
+
+    def test_from_sorted_ids_trusts_input(self):
+        subset = VertexSubset.from_sorted_ids(10, np.array([2, 5, 7]))
+        assert subset.ids.tolist() == [2, 5, 7]
+        assert subset.mask.tolist() == [
+            False, False, True, False, False, True, False, True, False,
+            False,
+        ]
+        assert len(subset) == 3
+
+    def test_from_mask(self):
+        mask = np.zeros(6, dtype=bool)
+        mask[[1, 4]] = True
+        subset = VertexSubset.from_mask(mask)
+        assert subset.ids.tolist() == [1, 4]
+        assert subset.num_vertices == 6
+
+    def test_empty_and_full(self):
+        assert len(VertexSubset.empty(5)) == 0
+        assert not VertexSubset.empty(5)
+        assert len(VertexSubset.full(5)) == 5
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            VertexSubset(5)
+        with pytest.raises(ValueError):
+            VertexSubset(5, ids=np.array([1]), mask=np.ones(5, dtype=bool))
+
+    def test_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            VertexSubset.from_ids(3, [5])
+
+    def test_mask_size_mismatch(self):
+        with pytest.raises(ValueError):
+            VertexSubset(3, mask=np.ones(5, dtype=bool))
+
+
+class TestViews:
+    def test_mask_from_ids(self):
+        subset = VertexSubset.from_ids(4, [0, 3])
+        assert subset.mask.tolist() == [True, False, False, True]
+
+    def test_ids_from_mask(self):
+        subset = VertexSubset.from_mask(np.array([False, True, True]))
+        assert subset.ids.tolist() == [1, 2]
+
+    def test_contains(self):
+        subset = VertexSubset.from_ids(5, [2])
+        assert 2 in subset
+        assert 3 not in subset
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = VertexSubset.from_ids(6, [0, 1])
+        b = VertexSubset.from_ids(6, [1, 5])
+        assert a.union(b).ids.tolist() == [0, 1, 5]
+
+    def test_intersect(self):
+        a = VertexSubset.from_ids(6, [0, 1, 3])
+        b = VertexSubset.from_ids(6, [1, 3, 5])
+        assert a.intersect(b).ids.tolist() == [1, 3]
+
+    def test_difference(self):
+        a = VertexSubset.from_ids(6, [0, 1, 3])
+        b = VertexSubset.from_ids(6, [1])
+        assert a.difference(b).ids.tolist() == [0, 3]
+
+    def test_universe_mismatch(self):
+        with pytest.raises(ValueError):
+            VertexSubset.from_ids(4, [0]).union(VertexSubset.from_ids(5, [0]))
+
+
+class TestDensityHeuristic:
+    def test_out_edge_count(self):
+        graph = CSRGraph.from_edges([(0, 1), (0, 2), (1, 2)],
+                                    num_vertices=3)
+        subset = VertexSubset.from_ids(3, [0])
+        assert subset.out_edge_count(graph) == 2
+
+    def test_small_frontier_is_sparse(self):
+        graph = CSRGraph.from_edges(
+            [(i, (i + 1) % 50) for i in range(50)], num_vertices=50
+        )
+        assert not VertexSubset.from_ids(50, [0]).is_dense_preferred(graph)
+
+    def test_large_frontier_is_dense(self):
+        graph = CSRGraph.from_edges(
+            [(i, (i + 1) % 50) for i in range(50)], num_vertices=50
+        )
+        assert VertexSubset.full(50).is_dense_preferred(graph)
+
+    def test_empty_graph_never_dense(self):
+        graph = CSRGraph.from_edges([], num_vertices=5)
+        assert not VertexSubset.full(5).is_dense_preferred(graph)

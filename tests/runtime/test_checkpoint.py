@@ -1,0 +1,95 @@
+"""Tests for engine checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LabelPropagation, PageRank, SSSP
+from repro.core.engine import GraphBoltEngine
+from repro.graph.generators import rmat
+from repro.ligra.engine import LigraEngine
+from repro.runtime.checkpoint import load_engine, save_engine
+from tests.conftest import make_random_batch
+
+
+@pytest.fixture
+def graph():
+    return rmat(scale=7, edge_factor=5, seed=90, weighted=True)
+
+
+def checkpoint_roundtrip(tmp_path, factory, graph, rng, iterations=8):
+    engine = GraphBoltEngine(factory(), num_iterations=iterations)
+    engine.run(graph)
+    engine.apply_mutations(make_random_batch(engine.graph, rng, 10, 10))
+    path = str(tmp_path / "engine.npz")
+    save_engine(engine, path)
+    restored = load_engine(path, factory())
+    return engine, restored
+
+
+class TestRoundtrip:
+    def test_values_survive(self, tmp_path, graph, rng):
+        engine, restored = checkpoint_roundtrip(
+            tmp_path, lambda: PageRank(), graph, rng
+        )
+        assert np.array_equal(engine.values, restored.values)
+        assert restored.graph.edge_set() == engine.graph.edge_set()
+        assert restored.history.horizon == engine.history.horizon
+
+    def test_restored_engine_continues_incrementally(self, tmp_path,
+                                                     graph, rng):
+        engine, restored = checkpoint_roundtrip(
+            tmp_path, lambda: LabelPropagation(num_labels=3), graph, rng
+        )
+        batch = make_random_batch(engine.graph, rng, 12, 12)
+        original = engine.apply_mutations(batch)
+        resumed = restored.apply_mutations(batch)
+        assert np.array_equal(original, resumed)
+        truth = LigraEngine(LabelPropagation(num_labels=3)).run(
+            restored.graph, 8
+        )
+        assert np.allclose(resumed, truth, atol=1e-7)
+
+    def test_vector_values_roundtrip(self, tmp_path, graph, rng):
+        engine, restored = checkpoint_roundtrip(
+            tmp_path, lambda: LabelPropagation(num_labels=4), graph, rng
+        )
+        assert restored.values.shape == engine.values.shape
+
+    def test_inf_values_roundtrip(self, tmp_path, graph, rng):
+        engine, restored = checkpoint_roundtrip(
+            tmp_path, lambda: SSSP(source=0), graph, rng, iterations=40
+        )
+        assert np.array_equal(
+            np.isinf(engine.values), np.isinf(restored.values)
+        )
+
+
+class TestGuards:
+    def test_algorithm_mismatch_rejected(self, tmp_path, graph, rng):
+        engine = GraphBoltEngine(PageRank(), num_iterations=5)
+        engine.run(graph)
+        path = str(tmp_path / "engine.npz")
+        save_engine(engine, path)
+        with pytest.raises(ValueError, match="mismatch"):
+            load_engine(path, LabelPropagation())
+
+    def test_unrun_engine_rejected(self, tmp_path):
+        engine = GraphBoltEngine(PageRank())
+        with pytest.raises(RuntimeError):
+            save_engine(engine, str(tmp_path / "x.npz"))
+
+    def test_dynamic_backend_checkpoints_via_csr(self, tmp_path, graph,
+                                                 rng):
+        from repro.graph.dynamic import DynamicStreamingGraph
+
+        engine = GraphBoltEngine(
+            PageRank(), num_iterations=6,
+            streaming_factory=DynamicStreamingGraph,
+        )
+        engine.run(graph)
+        engine.apply_mutations(make_random_batch(engine.graph, rng, 5, 5))
+        path = str(tmp_path / "engine.npz")
+        save_engine(engine, path)
+        restored = load_engine(path, PageRank())
+        assert restored.graph.edge_set() == engine.graph.edge_set()
+        assert np.array_equal(restored.values, engine.values)

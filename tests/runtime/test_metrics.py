@@ -1,0 +1,86 @@
+"""Unit tests for metrics, timers and memory reports."""
+
+import time
+
+from repro.runtime.metrics import EngineMetrics, MemoryReport, Timer
+
+
+class TestEngineMetrics:
+    def test_counting(self):
+        metrics = EngineMetrics()
+        metrics.count_edges(10)
+        metrics.count_edges(5)
+        metrics.count_vertices(3)
+        assert metrics.edge_computations == 15
+        assert metrics.vertex_computations == 3
+
+    def test_snapshot_and_delta(self):
+        metrics = EngineMetrics()
+        metrics.count_edges(10)
+        snap = metrics.snapshot()
+        metrics.count_edges(7)
+        metrics.iterations += 2
+        delta = metrics.delta_since(snap)
+        assert delta.edge_computations == 7
+        assert delta.iterations == 2
+        # The snapshot is frozen.
+        assert snap.edge_computations == 10
+
+    def test_phase_time_delta(self):
+        metrics = EngineMetrics()
+        metrics.add_phase_time("refine", 1.0)
+        snap = metrics.snapshot()
+        metrics.add_phase_time("refine", 0.5)
+        metrics.add_phase_time("hybrid", 0.25)
+        delta = metrics.delta_since(snap)
+        assert abs(delta.phase_seconds["refine"] - 0.5) < 1e-12
+        assert abs(delta.phase_seconds["hybrid"] - 0.25) < 1e-12
+
+    def test_merge(self):
+        a = EngineMetrics(edge_computations=5)
+        a.add_phase_time("x", 1.0)
+        b = EngineMetrics(edge_computations=3, iterations=2)
+        b.add_phase_time("x", 2.0)
+        a.merge(b)
+        assert a.edge_computations == 8
+        assert a.iterations == 2
+        assert a.phase_seconds["x"] == 3.0
+
+    def test_reset(self):
+        metrics = EngineMetrics(edge_computations=5)
+        metrics.add_phase_time("x", 1.0)
+        metrics.reset()
+        assert metrics.edge_computations == 0
+        assert metrics.phase_seconds == {}
+
+
+class TestTimer:
+    def test_records_elapsed(self):
+        metrics = EngineMetrics()
+        with Timer(metrics, "sleep") as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+        assert metrics.phase_seconds["sleep"] >= 0.01
+
+    def test_accumulates(self):
+        metrics = EngineMetrics()
+        for _ in range(2):
+            with Timer(metrics, "phase"):
+                pass
+        assert metrics.phase_seconds["phase"] >= 0.0
+
+    def test_none_metrics_ok(self):
+        with Timer(None, "phase") as timer:
+            pass
+        assert timer.elapsed >= 0.0
+
+
+class TestMemoryReport:
+    def test_overhead(self):
+        report = MemoryReport(baseline_bytes=100, dependency_bytes=13)
+        assert abs(report.overhead_fraction - 0.13) < 1e-12
+        assert abs(report.overhead_percent - 13.0) < 1e-9
+
+    def test_zero_baseline(self):
+        assert MemoryReport(0, 0).overhead_fraction == 0.0
+        assert MemoryReport(0, 5).overhead_fraction == float("inf")

@@ -1,0 +1,69 @@
+"""Unit tests for the work/span parallel cost model."""
+
+import pytest
+
+from repro.runtime.metrics import EngineMetrics
+from repro.runtime.parallel import ParallelModel
+
+
+def metrics_with(edges, iterations):
+    metrics = EngineMetrics()
+    metrics.count_edges(edges)
+    metrics.iterations = iterations
+    return metrics
+
+
+class TestProjection:
+    def test_single_core_is_measured_time(self):
+        model = ParallelModel()
+        metrics = metrics_with(1_000_000, 10)
+        assert model.project(metrics, 2.0, 1) == pytest.approx(2.0)
+
+    def test_more_cores_never_slower(self):
+        model = ParallelModel()
+        metrics = metrics_with(1_000_000, 10)
+        t32 = model.project(metrics, 2.0, 32)
+        t96 = model.project(metrics, 2.0, 96)
+        assert t96 <= t32 <= 2.0
+
+    def test_span_bounds_speedup(self):
+        model = ParallelModel(per_iteration_span=1000)
+        metrics = metrics_with(10_000, 10)  # work == span
+        projected = model.project(metrics, 1.0, 1_000_000)
+        # Fully span-bound: infinite cores cannot beat the span.
+        assert projected == pytest.approx(1.0)
+
+    def test_work_rich_runs_scale_better(self):
+        model = ParallelModel()
+        heavy = metrics_with(100_000_000, 10)
+        light = metrics_with(100_000, 10)
+        heavy_speedup = model.speedup(heavy, 1.0, 96)
+        light_speedup = model.speedup(light, 1.0, 96)
+        assert heavy_speedup > light_speedup
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ParallelModel(per_iteration_span=0)
+        with pytest.raises(ValueError):
+            ParallelModel().project(metrics_with(1, 1), 1.0, 0)
+
+    def test_zero_work(self):
+        model = ParallelModel()
+        metrics = EngineMetrics()
+        metrics.iterations = 0
+        # Degenerate run: projection falls back to span-only behaviour.
+        assert model.project(metrics, 0.5, 8) > 0
+
+
+class TestBreakdown:
+    def test_unit_cost(self):
+        model = ParallelModel()
+        cost = model.breakdown(metrics_with(1000, 1), 2.0)
+        assert cost.unit_cost == pytest.approx(2.0 / cost.work_units)
+
+    def test_span_counts_refinement_iterations(self):
+        model = ParallelModel(per_iteration_span=100)
+        metrics = metrics_with(100_000, 5)
+        metrics.refinement_iterations = 5
+        cost = model.breakdown(metrics, 1.0)
+        assert cost.span_units == 1000

@@ -1,0 +1,55 @@
+"""Unit tests for result validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.validation import (
+    assert_same_results,
+    count_exceeding,
+    max_relative_error,
+    relative_errors,
+)
+
+
+class TestRelativeErrors:
+    def test_basic(self):
+        errors = relative_errors([1.1, 2.0], [1.0, 2.0])
+        assert np.allclose(errors, [0.1, 0.0])
+
+    def test_vector_values_reduce_with_max(self):
+        actual = np.array([[1.0, 2.2]])
+        expected = np.array([[1.0, 2.0]])
+        assert np.allclose(relative_errors(actual, expected), [0.1])
+
+    def test_zero_expected_uses_absolute(self):
+        errors = relative_errors([0.5], [0.0])
+        assert np.allclose(errors, [0.5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.zeros(2), np.zeros(3))
+
+
+class TestCensus:
+    def test_count_exceeding(self):
+        actual = [1.0, 1.2, 1.011]
+        expected = [1.0, 1.0, 1.0]
+        assert count_exceeding(actual, expected, 0.01) == 2
+        assert count_exceeding(actual, expected, 0.10) == 1
+
+    def test_max_relative_error(self):
+        assert max_relative_error([1.5], [1.0]) == pytest.approx(0.5)
+        assert max_relative_error([], []) == 0.0
+
+
+class TestAssertSame:
+    def test_passes_within_tolerance(self):
+        assert_same_results([1.0 + 1e-9], [1.0], tolerance=1e-7)
+
+    def test_fails_beyond_tolerance(self):
+        with pytest.raises(AssertionError, match="vertex 1"):
+            assert_same_results([1.0, 2.0], [1.0, 1.0], tolerance=1e-7)
+
+    def test_context_in_message(self):
+        with pytest.raises(AssertionError, match="pagerank"):
+            assert_same_results([2.0], [1.0], context="pagerank")

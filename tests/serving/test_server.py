@@ -1,0 +1,106 @@
+"""Tests for the Tornado-style analytics server."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LabelPropagation, PageRank, SSSP
+from repro.graph.generators import rmat
+from repro.ligra.engine import LigraEngine
+from repro.serving import StreamingAnalyticsServer
+from tests.conftest import make_random_batch
+
+
+@pytest.fixture
+def graph():
+    return rmat(scale=7, edge_factor=5, seed=91, weighted=True)
+
+
+class TestConstruction:
+    def test_invalid_windows(self, graph):
+        with pytest.raises(ValueError):
+            StreamingAnalyticsServer(lambda: PageRank(), graph,
+                                     approx_iterations=0)
+        with pytest.raises(ValueError):
+            StreamingAnalyticsServer(lambda: PageRank(), graph,
+                                     approx_iterations=5,
+                                     exact_iterations=3)
+
+    def test_default_exact_window(self, graph):
+        server = StreamingAnalyticsServer(lambda: PageRank(), graph,
+                                          approx_iterations=2)
+        assert server.exact_iterations == PageRank().default_iterations
+
+
+class TestMainLoop:
+    def test_approximate_values_are_short_window_exact(self, graph, rng):
+        server = StreamingAnalyticsServer(lambda: PageRank(), graph,
+                                          approx_iterations=3)
+        for _ in range(3):
+            server.ingest(make_random_batch(server.graph, rng, 10, 10))
+        truth = LigraEngine(PageRank()).run(server.graph, 3)
+        assert np.allclose(server.approximate_values, truth, atol=1e-8)
+
+    def test_ingest_counts(self, graph, rng):
+        server = StreamingAnalyticsServer(lambda: PageRank(), graph)
+        server.ingest(make_random_batch(server.graph, rng, 5, 5))
+        assert server.batches_ingested == 1
+
+
+class TestBranchLoop:
+    def test_query_is_exact_full_window(self, graph, rng):
+        server = StreamingAnalyticsServer(
+            lambda: LabelPropagation(num_labels=3), graph,
+            approx_iterations=3, exact_iterations=10,
+        )
+        for _ in range(4):
+            server.ingest(make_random_batch(server.graph, rng, 10, 10))
+        result = server.query()
+        truth = LigraEngine(LabelPropagation(num_labels=3)).run(
+            server.graph, 10
+        )
+        assert np.allclose(result.values, truth, atol=1e-7)
+        assert result.iterations == 10
+        assert result.batches_ingested == 4
+
+    def test_query_does_not_perturb_main_loop(self, graph, rng):
+        server = StreamingAnalyticsServer(lambda: PageRank(), graph,
+                                          approx_iterations=2,
+                                          exact_iterations=8)
+        server.ingest(make_random_batch(server.graph, rng, 5, 5))
+        before = server.approximate_values.copy()
+        server.query()
+        assert np.array_equal(server.approximate_values, before)
+        # And the main loop keeps refining correctly after a query.
+        server.ingest(make_random_batch(server.graph, rng, 5, 5))
+        truth = LigraEngine(PageRank()).run(server.graph, 2)
+        assert np.allclose(server.approximate_values, truth, atol=1e-8)
+
+    def test_query_until_convergence(self, graph, rng):
+        server = StreamingAnalyticsServer(
+            lambda: SSSP(source=0), graph,
+            approx_iterations=2, until_convergence=True,
+        )
+        server.ingest(make_random_batch(server.graph, rng, 10, 10))
+        result = server.query()
+        truth = LigraEngine(SSSP(source=0)).run(server.graph,
+                                                until_convergence=True)
+        both_inf = np.isinf(result.values) & np.isinf(truth)
+        assert np.allclose(result.values[~both_inf], truth[~both_inf])
+
+    def test_query_cheaper_than_scratch(self, graph, rng):
+        server = StreamingAnalyticsServer(
+            lambda: LabelPropagation(num_labels=3, tolerance=1e-3,
+                                     seed_every=3),
+            graph, approx_iterations=5, exact_iterations=10,
+        )
+        server.ingest(make_random_batch(server.graph, rng, 5, 5))
+        result = server.query()
+        # The branch only runs the tail of the window (and selective
+        # scheduling skips stabilised vertices), so it must do less edge
+        # work than a 10-iteration from-scratch run.
+        scratch = LigraEngine(LabelPropagation(num_labels=3))
+        scratch.run(server.graph, 10)
+        assert result.edge_computations < (
+            scratch.metrics.edge_computations
+        )
+        assert server.queries_served == 1

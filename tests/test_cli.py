@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import ALGORITHMS, ENGINES, main, parse_graph
+
+
+class TestParseGraph:
+    def test_rmat(self):
+        graph = parse_graph("rmat:8:4")
+        assert graph.num_vertices == 256
+
+    def test_rmat_defaults(self):
+        assert parse_graph("rmat").num_vertices == 1024
+
+    def test_watts_strogatz(self):
+        graph = parse_graph("ws:100:2")
+        assert graph.num_vertices == 100
+
+    def test_erdos_renyi(self):
+        graph = parse_graph("er:50:200")
+        assert graph.num_edges == 200
+
+    def test_er_needs_both_args(self):
+        with pytest.raises(ValueError):
+            parse_graph("er:50")
+
+    def test_paper(self):
+        assert parse_graph("paper:WK").num_vertices == 2048
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.graph import io
+        from repro.graph.generators import rmat
+
+        graph = rmat(scale=6, edge_factor=4, seed=1)
+        path = str(tmp_path / "g.npz")
+        io.save_npz(graph, path)
+        loaded = parse_graph(f"file:{path}")
+        assert loaded.edge_set() == graph.edge_set()
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError):
+            parse_graph("quantum:3")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--graph", "rmat:7:4"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "128" in out
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_run_engines(self, engine, capsys):
+        code = main([
+            "run", "--engine", engine, "--graph", "rmat:7:4",
+            "--batches", "2", "--batch-size", "10", "--iterations", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edge_computations" in out
+
+    def test_run_with_validation(self, capsys):
+        code = main([
+            "run", "--algorithm", "sssp", "--graph", "rmat:7:4",
+            "--batches", "2", "--batch-size", "10", "--validate",
+        ])
+        assert code == 0
+        assert "max_error" in capsys.readouterr().out
+
+    def test_run_writes_output(self, tmp_path, capsys):
+        out_path = str(tmp_path / "values.npz")
+        main([
+            "run", "--graph", "rmat:7:4", "--batches", "1",
+            "--batch-size", "5", "--iterations", "3",
+            "--output", out_path,
+        ])
+        with np.load(out_path) as data:
+            assert data["values"].shape == (128,)
+
+    def test_every_registered_algorithm_runs(self, capsys):
+        for name in ALGORITHMS:
+            graph = "rmat:6:4"
+            code = main([
+                "run", "--algorithm", name, "--graph", graph,
+                "--batches", "1", "--batch-size", "5",
+                "--iterations", "3",
+            ])
+            assert code == 0, name
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestBenchSubcommand:
+    def test_bench_delegates(self, capsys, monkeypatch, tmp_path):
+        from repro.bench import experiments as exp
+        from repro.bench.__main__ import EXPERIMENTS
+
+        monkeypatch.setattr(
+            "repro.bench.reporting.results_dir", lambda: str(tmp_path)
+        )
+        monkeypatch.setitem(
+            EXPERIMENTS, "figure4",
+            lambda: exp.experiment_figure4(num_iterations=3),
+        )
+        assert main(["bench", "figure4"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_bench_unknown_experiment(self, capsys):
+        assert main(["bench", "bogus"]) == 2
