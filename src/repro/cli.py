@@ -7,6 +7,9 @@ Commands
            per-batch latency/work (optionally validating every batch
            against from-scratch execution).
 ``bench``  alias for ``python -m repro.bench`` (paper experiments).
+``fuzz``   differential fuzzing: drive seeded adversarial workloads
+           through every engine and cross-check per-batch
+           BSP-equivalence (see ``docs/testing.md``).
 
 Graph specs
 -----------
@@ -163,6 +166,32 @@ def _cmd_bench(args) -> int:
     return bench_main(["repro.bench"] + args.experiments)
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.testing import parse_budget, run_fuzz
+
+    outcome = run_fuzz(
+        seed=args.seed,
+        workloads=args.workloads,
+        budget_seconds=parse_budget(args.budget),
+        algorithms=args.algorithms or None,
+        engines=args.engines or None,
+        max_vertices=args.max_vertices,
+        max_batches=args.max_batches,
+        do_shrink=not args.no_shrink,
+        plant_bug=args.plant_bug,
+    )
+    if args.plant_bug:
+        # Self-test: success means the deliberately broken strategy WAS
+        # caught (and therefore the oracle is not passing vacuously).
+        caught = any(
+            divergence.engine == "naive"
+            for report in outcome.failures
+            for divergence in report.divergences
+        )
+        return 0 if caught else 1
+    return 0 if outcome.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -193,6 +222,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("experiments", nargs="*",
                        help="experiment names (default: all)")
     bench.set_defaults(handler=_cmd_bench)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="cross-engine differential fuzzing"
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first workload seed (workload i uses seed+i)")
+    fuzz.add_argument("--workloads", type=int, default=25,
+                      help="number of workloads to generate")
+    fuzz.add_argument("--budget", default=None,
+                      help="wall-clock budget, e.g. 45, 30s, 2m")
+    fuzz.add_argument("--algorithms", nargs="*", default=None,
+                      help="restrict the fuzz algorithm roster")
+    fuzz.add_argument("--engines", nargs="*", default=None,
+                      help="restrict engines (reference always runs)")
+    fuzz.add_argument("--max-vertices", type=int, default=64)
+    fuzz.add_argument("--max-batches", type=int, default=6)
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report divergences without minimising them")
+    fuzz.add_argument("--plant-bug", action="store_true",
+                      help="self-test: include the known-broken naive "
+                           "strategy and succeed only if it is caught")
+    fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

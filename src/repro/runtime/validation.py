@@ -25,12 +25,28 @@ ArrayLike = Union[np.ndarray, list]
 
 def relative_errors(actual: ArrayLike, expected: ArrayLike) -> np.ndarray:
     """Element-wise ``|actual - expected| / |expected|`` (vector values are
-    reduced with the max error over components)."""
+    reduced with the max error over components).
+
+    ``expected`` must be finite: a NaN or infinity in the reference
+    silently poisons every error it touches (``inf/inf`` is NaN, and a
+    NaN never trips a ``>`` threshold), so it is rejected up front.
+    Callers comparing algorithms with legitimate infinities (unreachable
+    distances) must mask them first -- see
+    :func:`repro.testing.oracle.compare_snapshots`.
+    """
     actual_arr = np.asarray(actual, dtype=np.float64)
     expected_arr = np.asarray(expected, dtype=np.float64)
     if actual_arr.shape != expected_arr.shape:
         raise ValueError(
             f"shape mismatch: {actual_arr.shape} vs {expected_arr.shape}"
+        )
+    finite = np.isfinite(np.atleast_1d(expected_arr))
+    if expected_arr.size and not finite.all():
+        per_vertex = finite.reshape(finite.shape[0], -1).all(axis=1)
+        bad = int(np.flatnonzero(~per_vertex)[0])
+        raise ValueError(
+            f"expected values must be finite (vertex {bad} is "
+            f"NaN/inf); mask non-finite entries before comparing"
         )
     denom = np.abs(expected_arr)
     tiny = denom < 1e-300
@@ -66,9 +82,10 @@ def assert_same_results(actual: ArrayLike, expected: ArrayLike,
     equality is not expected (matching the C++ system, which uses atomic
     float adds with non-deterministic ordering).
     """
-    worst = max_relative_error(actual, expected)
+    err = relative_errors(actual, expected)
+    worst = float(err.max()) if err.size else 0.0
     if worst > tolerance:
-        idx = int(np.argmax(relative_errors(actual, expected)))
+        idx = int(np.argmax(err))
         raise AssertionError(
             f"results diverge{' (' + context + ')' if context else ''}: "
             f"max relative error {worst:.3e} at vertex {idx} "

@@ -1,0 +1,58 @@
+"""Cross-engine differential fuzzing and equivalence checking.
+
+The paper validates every experiment by comparing incremental results
+against a from-scratch synchronous run on the mutated graph (section
+5.1); Table 1 quantifies the silent corruption that appears without that
+discipline.  This package mechanises the check as a subsystem:
+
+- :mod:`repro.testing.workloads` -- deterministic seeded generation of
+  graphs, algorithm configs, and adversarial mutation schedules;
+- :mod:`repro.testing.oracle` -- drives one workload through every
+  applicable engine (GraphBolt refinement, GB-Reset restart, Ligra
+  restart, KickStarter, mini differential dataflow) and checks per-batch
+  BSP-equivalence plus work-metric sanity;
+- :mod:`repro.testing.shrinker` -- minimises a failing workload to the
+  smallest graph and shortest mutation prefix that still diverge, and
+  renders it as a ready-to-paste pytest test;
+- :mod:`repro.testing.fuzz` -- the ``repro fuzz`` campaign driver.
+"""
+
+from repro.testing.fuzz import FuzzOutcome, parse_budget, run_fuzz
+from repro.testing.oracle import (
+    Divergence,
+    WorkloadReport,
+    check_workload,
+    compare_snapshots,
+)
+from repro.testing.runners import (
+    REFERENCE_ENGINE,
+    available_engines,
+    build_runner,
+)
+from repro.testing.shrinker import ShrinkResult, shrink, to_pytest
+from repro.testing.workloads import (
+    FUZZ_ALGORITHMS,
+    AlgorithmProfile,
+    Workload,
+    generate_workload,
+)
+
+__all__ = [
+    "AlgorithmProfile",
+    "Divergence",
+    "FUZZ_ALGORITHMS",
+    "FuzzOutcome",
+    "REFERENCE_ENGINE",
+    "ShrinkResult",
+    "Workload",
+    "WorkloadReport",
+    "available_engines",
+    "build_runner",
+    "check_workload",
+    "compare_snapshots",
+    "generate_workload",
+    "parse_budget",
+    "run_fuzz",
+    "shrink",
+    "to_pytest",
+]

@@ -1,0 +1,169 @@
+"""Engine adapters for the equivalence oracle.
+
+Every engine family in the repository is wrapped behind the streaming
+runner protocol of :mod:`repro.bench.harness` -- ``setup(graph)`` then
+``apply(batch) -> values`` with an :class:`EngineMetrics` attached -- so
+the oracle can drive an identical mutation stream through all of them
+and compare snapshots pairwise:
+
+==============  =====================================================
+``ligra``       full restart (the oracle's reference truth)
+``gbreset``     delta/selective-scheduling restart
+``graphbolt``   dependency-driven refinement
+``naive``       GraphBolt with ``strategy="naive"`` (deliberately
+                incorrect; used by the plant-a-bug self-test only)
+``kickstarter`` trim-and-propagate trees (monotonic path algorithms)
+``dataflow``    mini differential dataflow (SSSP only, small graphs)
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import (
+    DeltaRunner,
+    GraphBoltRunner,
+    LigraRunner,
+    StreamingRunner,
+)
+from repro.core.engine import GraphBoltEngine
+from repro.dataflow.graph_programs import DifferentialSSSP
+from repro.graph.csr import CSRGraph
+from repro.graph.mutation import MutationBatch
+from repro.kickstarter.engine import KickStarterEngine
+from repro.runtime.metrics import EngineMetrics
+from repro.testing.workloads import AlgorithmProfile
+
+__all__ = [
+    "REFERENCE_ENGINE",
+    "available_engines",
+    "build_runner",
+]
+
+#: The engine whose output is the oracle's ground truth: a from-scratch
+#: synchronous run on each mutated snapshot (paper section 5.1).
+REFERENCE_ENGINE = "ligra"
+
+#: Differential dataflow unrolls one stage per possible hop, so gate it
+#: to graphs where that stays affordable.
+DATAFLOW_MAX_VERTICES = 40
+
+
+class NaiveRunner(StreamingRunner):
+    """GraphBolt with refinement disabled -- the known-wrong baseline of
+    the paper's Figure 2 / Table 1, kept for harness self-tests."""
+
+    name = "GraphBolt-naive"
+
+    def setup(self, graph: CSRGraph) -> np.ndarray:
+        self.engine = GraphBoltEngine(
+            self.algorithm_factory(),
+            num_iterations=self.num_iterations,
+            until_convergence=self.until_convergence,
+            strategy="naive",
+            metrics=self.metrics,
+        )
+        return self.engine.run(graph)
+
+    def apply(self, batch: MutationBatch) -> np.ndarray:
+        return self.engine.apply_mutations(batch)
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self.engine.graph
+
+
+class KickStarterRunner(StreamingRunner):
+    """Adapter for :class:`KickStarterEngine` (builds on ``setup``)."""
+
+    name = "KickStarter"
+
+    def __init__(self, algorithm_factory, num_iterations=None,
+                 until_convergence: bool = False,
+                 unit_weights: bool = False) -> None:
+        super().__init__(algorithm_factory, num_iterations,
+                         until_convergence)
+        self.unit_weights = unit_weights
+        self.engine: Optional[KickStarterEngine] = None
+
+    def setup(self, graph: CSRGraph) -> np.ndarray:
+        self.engine = KickStarterEngine(
+            graph, source=0, unit_weights=self.unit_weights,
+            metrics=self.metrics,
+        )
+        return self.engine.values
+
+    def apply(self, batch: MutationBatch) -> np.ndarray:
+        return self.engine.apply_mutations(batch)
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self.engine.graph
+
+
+class DataflowRunner(StreamingRunner):
+    """Adapter for the mini differential-dataflow SSSP program."""
+
+    name = "DifferentialDataflow"
+
+    def setup(self, graph: CSRGraph) -> np.ndarray:
+        self.engine = DifferentialSSSP(
+            graph, source=0,
+            num_stages=graph.num_vertices + 4,
+            metrics=self.metrics,
+        )
+        return self.engine.values
+
+    def apply(self, batch: MutationBatch) -> np.ndarray:
+        return self.engine.apply_mutations(batch)
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self.engine.graph
+
+
+def available_engines(profile: AlgorithmProfile,
+                      num_vertices: int,
+                      include_naive: bool = False) -> List[str]:
+    """Engine keys applicable to one workload, reference first."""
+    engines = [REFERENCE_ENGINE, "gbreset", "graphbolt"]
+    if include_naive:
+        engines.append("naive")
+    if profile.kickstarter is not None:
+        engines.append("kickstarter")
+    if profile.dataflow == "sssp" and num_vertices <= DATAFLOW_MAX_VERTICES:
+        engines.append("dataflow")
+    return engines
+
+
+def build_runner(engine: str, profile: AlgorithmProfile) -> StreamingRunner:
+    """Instantiate one adapter for one workload's algorithm profile."""
+    common = dict(
+        algorithm_factory=profile.factory,
+        num_iterations=profile.num_iterations,
+        until_convergence=profile.until_convergence,
+    )
+    if engine == "ligra":
+        return LigraRunner(**common)
+    if engine == "gbreset":
+        return DeltaRunner(**common)
+    if engine == "graphbolt":
+        return GraphBoltRunner(**common)
+    if engine == "naive":
+        return NaiveRunner(**common)
+    if engine == "kickstarter":
+        if profile.kickstarter is None:
+            raise ValueError(
+                f"{profile.key} has no KickStarter formulation"
+            )
+        return KickStarterRunner(
+            unit_weights=profile.kickstarter == "unit", **common
+        )
+    if engine == "dataflow":
+        if profile.dataflow != "sssp":
+            raise ValueError(f"{profile.key} has no dataflow program")
+        return DataflowRunner(**common)
+    raise ValueError(f"unknown engine {engine!r}")

@@ -108,3 +108,106 @@ class TestQueries:
             add_src=np.array([0, 1]), add_dst=np.array([1, 2])
         )
         assert batch.num_additions == 2
+
+
+class TestStreamEdgeCases:
+    """Edge cases the differential fuzzer exercises routinely; these pin
+    the structure-adjustment semantics the engines rely on."""
+
+    def _streaming(self):
+        from repro.graph.csr import CSRGraph
+        from repro.graph.mutable import StreamingGraph
+
+        graph = CSRGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0)], num_vertices=3,
+            weights=[1.0, 2.0, 3.0],
+        )
+        return StreamingGraph(graph)
+
+    def test_delete_nonexistent_edge_is_skipped(self):
+        streaming = self._streaming()
+        result = streaming.apply_batch(
+            MutationBatch.from_edges(deletions=[(0, 2)])
+        )
+        assert result.skipped_deletions == 1
+        assert result.del_src.size == 0
+        assert streaming.graph.num_edges == 3
+        assert streaming.graph.num_vertices == 3
+
+    def test_delete_beyond_capacity_skips_but_grows(self):
+        # Stream semantics: any vertex id observed in the feed comes to
+        # exist, even when the edge operation itself is a stale no-op.
+        streaming = self._streaming()
+        result = streaming.apply_batch(
+            MutationBatch.from_edges(deletions=[(7, 8)])
+        )
+        assert result.skipped_deletions == 1
+        assert streaming.graph.num_vertices == 9
+        assert streaming.graph.num_edges == 3
+        assert result.grew()
+
+    def test_duplicate_insertions_first_weight_wins(self):
+        batch = MutationBatch.from_edges(
+            additions=[(0, 2), (0, 2)], add_weights=[5.0, 9.0]
+        )
+        assert batch.num_additions == 1
+        assert batch.add_weight.tolist() == [5.0]
+        streaming = self._streaming()
+        streaming.apply_batch(batch)
+        assert streaming.graph.num_edges == 4
+        src, dst, weight = streaming.graph.all_edges()
+        edges = {(int(u), int(v)): float(w)
+                 for u, v, w in zip(src, dst, weight)}
+        assert edges[(0, 2)] == 5.0
+
+    def test_duplicate_of_existing_edge_is_skipped(self):
+        streaming = self._streaming()
+        result = streaming.apply_batch(
+            MutationBatch.from_edges(additions=[(0, 1)],
+                                     add_weights=[9.0])
+        )
+        assert result.skipped_additions == 1
+        src, dst, weight = streaming.graph.all_edges()
+        edges = {(int(u), int(v)): float(w)
+                 for u, v, w in zip(src, dst, weight)}
+        assert edges[(0, 1)] == 1.0  # original weight preserved
+
+    def test_addition_beyond_capacity_grows_graph(self):
+        streaming = self._streaming()
+        result = streaming.apply_batch(
+            MutationBatch.from_edges(additions=[(1, 20)])
+        )
+        assert streaming.graph.num_vertices == 21
+        assert streaming.graph.num_edges == 4
+        assert result.grew()
+        # The grown id range is reported as changed so engines extend
+        # their value arrays.
+        assert 20 in result.in_changed_vertices().tolist()
+
+    def test_engines_survive_all_edge_cases_end_to_end(self):
+        # The refinement engine must stay BSP-equivalent through the
+        # full gauntlet applied as one stream.
+        import numpy as np
+
+        from repro.algorithms import PageRank
+        from repro.core.engine import GraphBoltEngine
+        from repro.ligra.engine import LigraEngine
+
+        streaming = self._streaming()
+        engine = GraphBoltEngine(PageRank(tolerance=1e-9),
+                                 num_iterations=8)
+        engine.run(streaming.graph)
+        gauntlet = [
+            MutationBatch.from_edges(deletions=[(0, 2)]),
+            MutationBatch.from_edges(deletions=[(7, 8)]),
+            MutationBatch.from_edges(additions=[(0, 2), (0, 2)],
+                                     add_weights=[5.0, 9.0]),
+            MutationBatch.from_edges(additions=[(1, 20)]),
+            MutationBatch.empty(),
+        ]
+        for batch in gauntlet:
+            values = engine.apply_mutations(batch)
+            truth = LigraEngine(PageRank(tolerance=1e-9)).run(
+                engine.graph, 8
+            )
+            assert np.allclose(values, truth, atol=1e-9)
