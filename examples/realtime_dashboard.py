@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Real-time dashboard: sliding-window ingestion + approximate/exact
-query serving.
+query serving, instrumented through the observability subsystem.
 
-Combines three pieces of the library:
+Combines four pieces of the library:
 
 - a :class:`~repro.graph.window.SlidingWindowStream` turns an endless
   feed of interaction events into add+expire mutation batches (only the
@@ -13,24 +13,63 @@ Combines three pieces of the library:
 - dashboard widgets read the cheap approximate scores every tick, and a
   "drill-down" issues a *branch-loop query* for the full-window exact
   scores without pausing ingestion (the Tornado architecture from the
-  paper's related work).
+  paper's related work);
+- the process-wide :class:`~repro.obs.MetricsRegistry` collects what
+  the server and engine publish -- ingest/query latency histograms and
+  the live dependency-memory gauges -- and renders the ops panel at the
+  end, straight from ``registry.to_json()``.
 
-Run:  python examples/realtime_dashboard.py
+Run:  python examples/realtime_dashboard.py --batches 5
 """
+
+import argparse
 
 import numpy as np
 
 from repro import PageRank, rmat
 from repro.graph.window import SlidingWindowStream
 from repro.ligra.engine import LigraEngine
+from repro.obs import get_registry
 from repro.serving import StreamingAnalyticsServer
 
 VERTICES = 4096
 WINDOW_TICKS = 6
-EVENTS_PER_TICK = 400
 
 
-def main():
+def render_ops_panel(registry) -> str:
+    """The operations widget: read everything from the registry."""
+    export = registry.to_json()
+    lines = ["--- ops panel (MetricsRegistry) ---"]
+    ingest = registry.histogram("serving.ingest_seconds")
+    query = registry.histogram("serving.query_seconds")
+    lines.append(
+        f"ingest: {ingest.count} batches, mean "
+        f"{ingest.mean * 1000:.1f}ms, p90 <= {ingest.quantile(0.9) * 1000:.1f}ms"
+    )
+    if query.count:
+        lines.append(
+            f"query : {query.count} drill-downs, mean "
+            f"{query.mean * 1000:.1f}ms"
+        )
+    for name in ("graphbolt.frontier_density",
+                 "graphbolt.history_window",
+                 "graphbolt.dependency_bytes"):
+        value = export["gauges"].get(name)
+        if value is not None:
+            lines.append(f"{name.split('.', 1)[1]}: {value}")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batches", type=int, default=8,
+                        help="ticks to ingest")
+    parser.add_argument("--events", type=int, default=400,
+                        help="interaction events per tick")
+    parser.add_argument("--drill-every", type=int, default=4,
+                        help="issue an exact drill-down every N ticks")
+    args = parser.parse_args(argv)
+
     print("=== Real-time interaction dashboard ===\n")
     seed_graph = rmat(scale=12, edge_factor=6, seed=2, weighted=True)
     server = StreamingAnalyticsServer(
@@ -41,15 +80,16 @@ def main():
     )
     window = SlidingWindowStream(window=WINDOW_TICKS)
     rng = np.random.default_rng(4)
+    registry = get_registry()
 
     print(f"seeded with {seed_graph.num_edges} historical interactions; "
           f"window = {WINDOW_TICKS} ticks, "
-          f"{EVENTS_PER_TICK} events/tick\n")
+          f"{args.events} events/tick\n")
 
-    for tick in range(1, 9):
+    for tick in range(1, args.batches + 1):
         events = [
             (int(rng.integers(0, VERTICES)), int(rng.integers(0, VERTICES)))
-            for _ in range(EVENTS_PER_TICK)
+            for _ in range(args.events)
         ]
         batch = window.advance(events)
         approx = server.ingest(batch)
@@ -59,7 +99,7 @@ def main():
                 f"{window.live_edges} | top vertex {top} "
                 f"(approx {approx[top]:.2f})")
 
-        if tick % 4 == 0:
+        if tick % args.drill_every == 0:
             # Drill-down: exact full-window scores on demand.
             result = server.query()
             exact_top = int(np.argmax(result.values))
@@ -74,7 +114,8 @@ def main():
 
     print(f"\nserved {server.queries_served} exact queries while "
           f"ingesting {server.batches_ingested} ticks; main loop never "
-          f"stalled")
+          f"stalled\n")
+    print(render_ops_panel(registry))
 
 
 if __name__ == "__main__":

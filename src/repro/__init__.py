@@ -64,6 +64,7 @@ from repro.graph.generators import (
     rmat,
 )
 from repro.ligra import DeltaEngine, LigraEngine
+from repro.obs import MetricsRegistry, Tracer, get_registry
 from repro.runtime.metrics import EngineMetrics
 
 __version__ = "1.0.0"
@@ -90,6 +91,7 @@ __all__ = [
     "LigraEngine",
     "LogProductAggregation",
     "MaxAggregation",
+    "MetricsRegistry",
     "MinAggregation",
     "MutationBatch",
     "MutationStream",
@@ -102,9 +104,11 @@ __all__ = [
     "SlidingWindowStream",
     "StreamingGraph",
     "SumAggregation",
+    "Tracer",
     "WeightedPageRank",
     "bipartite_graph",
     "erdos_renyi",
+    "get_registry",
     "paper_graph",
     "preferential_attachment",
     "rmat",

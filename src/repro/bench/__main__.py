@@ -13,6 +13,7 @@ import time
 
 from repro.bench import experiments as exp
 from repro.bench.reporting import save_results
+from repro.obs.registry import get_registry
 
 EXPERIMENTS = {
     "table1": exp.experiment_table1,
@@ -48,6 +49,11 @@ def main(argv) -> int:
         print(exp.render_table(payload))
         print(f"[{name}: {elapsed:.1f}s -> {path}]")
         print()
+    # Everything the runs fed into the process-wide registry --
+    # counters, gauges, latency histograms -- lands next to the tables.
+    registry_path = save_results("metrics_registry",
+                                 get_registry().to_json())
+    print(f"[metrics registry -> {registry_path}]")
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.graph.mutable import StreamingGraph
 from repro.graph.mutation import MutationBatch
 from repro.ligra.delta import DeltaEngine
 from repro.ligra.engine import LigraEngine
+from repro.obs.registry import get_registry, ingest_engine_metrics
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = [
@@ -222,6 +223,7 @@ def run_stream(runner: StreamingRunner, graph: CSRGraph,
     runner.setup(graph)
     setup_seconds = time.perf_counter() - start
     result = StreamResult(runner=runner.name, setup_seconds=setup_seconds)
+    registry = get_registry()
     values = None
     for batch in batches:
         before = runner.metrics.snapshot()
@@ -238,6 +240,16 @@ def run_stream(runner: StreamingRunner, graph: CSRGraph,
                 vertex_computations=delta.vertex_computations,
             )
         )
+        # Per-batch latency distributions: overall plus each engine
+        # phase (refine/hybrid/compute/...) from the metrics delta.
+        registry.histogram(f"{runner.name}.batch_seconds").observe(elapsed)
+        for phase, seconds in delta.phase_seconds.items():
+            if seconds > 0.0:
+                registry.histogram(
+                    f"{runner.name}.phase.{phase}_seconds"
+                ).observe(seconds)
     result.final_values = values
     result.final_metrics = runner.metrics.snapshot()
+    ingest_engine_metrics(result.final_metrics, runner.name,
+                          registry=registry)
     return result

@@ -5,11 +5,16 @@ Commands
 ``info``   print statistics for a graph spec.
 ``run``    stream mutation batches through an engine and report
            per-batch latency/work (optionally validating every batch
-           against from-scratch execution).
+           against from-scratch execution).  ``--json`` emits the
+           records as JSON lines; ``--trace-out`` journals the full
+           span tree (see ``docs/observability.md``).
+``trace``  replay a workload under the tracer and render a per-batch
+           phase-time breakdown.
 ``bench``  alias for ``python -m repro.bench`` (paper experiments).
 ``fuzz``   differential fuzzing: drive seeded adversarial workloads
            through every engine and cross-check per-batch
-           BSP-equivalence (see ``docs/testing.md``).
+           BSP-equivalence (see ``docs/testing.md``).  ``--trace-out``
+           attaches span dumps of shrunk failures to a JSONL journal.
 
 Graph specs
 -----------
@@ -21,9 +26,10 @@ Graph specs
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -49,6 +55,7 @@ from repro.graph import generators, io
 from repro.graph.csr import CSRGraph
 from repro.graph.properties import graph_stats
 from repro.ligra.engine import LigraEngine
+from repro.obs import JsonlJournal, Tracer, format_trace, trace
 
 __all__ = ["main"]
 
@@ -119,19 +126,13 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    graph = parse_graph(args.graph)
-    factory = ALGORITHMS[args.algorithm]
-    runner_cls = ENGINES[args.engine]
-    runner = runner_cls(factory, args.iterations)
-    start = time.perf_counter()
-    runner.setup(graph)
-    setup_seconds = time.perf_counter() - start
-    print(f"{args.engine} / {args.algorithm} on {args.graph} "
-          f"(V={graph.num_vertices}, E={graph.num_edges}); "
-          f"initial run {setup_seconds:.3f}s")
+def _spec_of(args) -> str:
+    """Graph spec from the positional argument or ``--graph``."""
+    return args.graph_spec if args.graph_spec else args.graph
 
-    rows: List[List] = []
+
+def _replay(runner, args):
+    """Drive the batch schedule; yields per-batch measurements."""
     for index in range(args.batches):
         batch = uniform_batch(runner.graph, args.batch_size,
                               seed=args.seed + index)
@@ -140,23 +141,108 @@ def _cmd_run(args) -> int:
         values = runner.apply(batch)
         elapsed = time.perf_counter() - start
         delta = runner.metrics.delta_since(before)
-        row = [index, len(batch), round(elapsed, 4),
-               delta.edge_computations]
-        if args.validate:
-            truth = LigraEngine(factory()).run(runner.graph,
-                                               args.iterations)
-            filled_actual = np.where(np.isinf(values), -1.0, values)
-            filled_truth = np.where(np.isinf(truth), -1.0, truth)
-            error = float(np.abs(filled_actual - filled_truth).max())
-            row.append(f"{error:.1e}")
-        rows.append(row)
-    headers = ["batch", "mutations", "seconds", "edge_computations"]
-    if args.validate:
-        headers.append("max_error")
-    print(format_table(headers, rows))
-    if args.output:
-        np.savez_compressed(args.output, values=values)
-        print(f"final values -> {args.output}")
+        yield index, batch, values, elapsed, delta
+
+
+def _cmd_run(args) -> int:
+    spec = _spec_of(args)
+    graph = parse_graph(spec)
+    factory = ALGORITHMS[args.algorithm]
+    runner = ENGINES[args.engine](factory, args.iterations)
+
+    with contextlib.ExitStack() as stack:
+        journal: Optional[JsonlJournal] = None
+        if args.trace_out:
+            journal = stack.enter_context(JsonlJournal.open(args.trace_out))
+            stack.enter_context(trace.activated(Tracer(sink=journal)))
+        stdout_journal = JsonlJournal(sys.stdout) if args.json else None
+
+        start = time.perf_counter()
+        runner.setup(graph)
+        setup_seconds = time.perf_counter() - start
+        header = {
+            "type": "run", "engine": args.engine,
+            "algorithm": args.algorithm, "graph": spec,
+            "vertices": graph.num_vertices, "edges": graph.num_edges,
+            "iterations": args.iterations, "seed": args.seed,
+            "setup_seconds": round(setup_seconds, 6),
+        }
+        if journal is not None:
+            journal.write(header)
+        if stdout_journal is not None:
+            stdout_journal.write(header)
+        else:
+            print(f"{args.engine} / {args.algorithm} on {spec} "
+                  f"(V={graph.num_vertices}, E={graph.num_edges}); "
+                  f"initial run {setup_seconds:.3f}s")
+
+        rows: List[List] = []
+        values = None
+        for index, batch, values, elapsed, delta in _replay(runner, args):
+            record = {
+                "type": "batch", "index": index, "mutations": len(batch),
+                "seconds": round(elapsed, 6),
+                "edge_computations": delta.edge_computations,
+                "vertex_computations": delta.vertex_computations,
+                "phase_seconds": {
+                    phase: round(seconds, 6)
+                    for phase, seconds in delta.phase_seconds.items()
+                },
+            }
+            if args.validate:
+                truth = LigraEngine(factory()).run(runner.graph,
+                                                   args.iterations)
+                filled_actual = np.where(np.isinf(values), -1.0, values)
+                filled_truth = np.where(np.isinf(truth), -1.0, truth)
+                record["max_error"] = float(
+                    np.abs(filled_actual - filled_truth).max()
+                )
+            if journal is not None:
+                journal.write(record)
+            if stdout_journal is not None:
+                stdout_journal.write(record)
+            else:
+                row = [index, len(batch), round(elapsed, 4),
+                       delta.edge_computations]
+                if args.validate:
+                    row.append(f"{record['max_error']:.1e}")
+                rows.append(row)
+
+        if stdout_journal is None:
+            headers = ["batch", "mutations", "seconds",
+                       "edge_computations"]
+            if args.validate:
+                headers.append("max_error")
+            print(format_table(headers, rows))
+        if args.output:
+            np.savez_compressed(args.output, values=values)
+            if stdout_journal is None:
+                print(f"final values -> {args.output}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    spec = _spec_of(args)
+    graph = parse_graph(spec)
+    factory = ALGORITHMS[args.algorithm]
+    runner = ENGINES[args.engine](factory, args.iterations)
+
+    with contextlib.ExitStack() as stack:
+        sink = None
+        if args.trace_out:
+            sink = stack.enter_context(JsonlJournal.open(args.trace_out))
+        tracer = Tracer(sink=sink)
+        stack.enter_context(trace.activated(tracer))
+        runner.setup(graph)
+        for _ in _replay(runner, args):
+            pass
+    print(format_trace(
+        tracer.events(),
+        title=(f"{args.engine} / {args.algorithm} on {spec} "
+               f"({args.batches} batches of {args.batch_size})"),
+    ))
+    if args.trace_out:
+        print(f"span journal -> {args.trace_out}")
     return 0
 
 
@@ -179,6 +265,7 @@ def _cmd_fuzz(args) -> int:
         max_batches=args.max_batches,
         do_shrink=not args.no_shrink,
         plant_bug=args.plant_bug,
+        trace_path=args.trace_out,
     )
     if args.plant_bug:
         # Self-test: success means the deliberately broken strategy WAS
@@ -203,20 +290,40 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--graph", default="rmat:10", help="graph spec")
     info.set_defaults(handler=_cmd_info)
 
+    def add_stream_options(parser, default_graph: str) -> None:
+        parser.add_argument("graph_spec", nargs="?", default=None,
+                            help="graph spec (overrides --graph)")
+        parser.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                            default="pagerank")
+        parser.add_argument("--engine", choices=sorted(ENGINES),
+                            default="graphbolt")
+        parser.add_argument("--graph", default=default_graph,
+                            help="graph spec")
+        parser.add_argument("--iterations", type=int, default=10)
+        parser.add_argument("--batches", type=int, default=5)
+        parser.add_argument("--batch-size", type=int, default=100)
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--trace-out", default=None,
+                            help="write the span journal to this JSONL "
+                                 "file")
+
     run = sub.add_parser("run", help="stream mutations through an engine")
-    run.add_argument("--algorithm", choices=sorted(ALGORITHMS),
-                     default="pagerank")
-    run.add_argument("--engine", choices=sorted(ENGINES),
-                     default="graphbolt")
-    run.add_argument("--graph", default="rmat:12", help="graph spec")
-    run.add_argument("--iterations", type=int, default=10)
-    run.add_argument("--batches", type=int, default=5)
-    run.add_argument("--batch-size", type=int, default=100)
-    run.add_argument("--seed", type=int, default=0)
+    add_stream_options(run, default_graph="rmat:12")
     run.add_argument("--validate", action="store_true",
                      help="check every batch against from-scratch run")
+    run.add_argument("--json", action="store_true",
+                     help="emit per-batch records as JSON lines instead "
+                          "of the table")
     run.add_argument("--output", help="write final values to .npz")
     run.set_defaults(handler=_cmd_run)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="replay a workload under the tracer and render the "
+             "per-batch phase breakdown",
+    )
+    add_stream_options(trace_cmd, default_graph="rmat:10")
+    trace_cmd.set_defaults(handler=_cmd_trace)
 
     bench = sub.add_parser("bench", help="paper experiment drivers")
     bench.add_argument("experiments", nargs="*",
@@ -240,6 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-batches", type=int, default=6)
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="report divergences without minimising them")
+    fuzz.add_argument("--trace-out", default=None,
+                      help="journal span dumps of (shrunk) failures to "
+                           "this JSONL file")
     fuzz.add_argument("--plant-bug", action="store_true",
                       help="self-test: include the known-broken naive "
                            "strategy and succeed only if it is caught")

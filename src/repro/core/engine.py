@@ -38,6 +38,8 @@ from repro.graph.csr import CSRGraph
 from repro.graph.mutable import StreamingGraph
 from repro.graph.mutation import MutationBatch
 from repro.ligra.delta import DeltaEngine, DeltaState
+from repro.obs import trace
+from repro.obs.registry import get_registry
 from repro.runtime.metrics import EngineMetrics, MemoryReport, Timer
 
 __all__ = ["GraphBoltEngine"]
@@ -87,6 +89,7 @@ class GraphBoltEngine:
         self._streaming: Optional[StreamingGraph] = None
         self._history: Optional[DependencyHistory] = None
         self._state: Optional[DeltaState] = None
+        self.batches_applied = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -132,7 +135,12 @@ class GraphBoltEngine:
             graph = streaming.graph
         else:
             self._streaming = self.streaming_factory(graph)
-        self._state, self._history = self._tracked_run(graph)
+        with trace.span("initial_run", engine=self.name,
+                        algorithm=self.algorithm.name,
+                        vertices=graph.num_vertices,
+                        edges=graph.num_edges):
+            self._state, self._history = self._tracked_run(graph)
+        self._publish_gauges()
         return self._state.values
 
     def _tracked_run(self, graph: CSRGraph):
@@ -160,13 +168,16 @@ class GraphBoltEngine:
                         iteration, state.frontier.size, graph.num_vertices,
                         tracking_stopped,
                     )
-                if track:
-                    record = self._delta.step(graph, state,
-                                              record_changes=True)
-                    self._record(history, record, state, graph.num_vertices)
-                else:
-                    tracking_stopped = True
-                    self._delta.step(graph, state)
+                with trace.span("iteration", index=iteration,
+                                tracked=track):
+                    if track:
+                        record = self._delta.step(graph, state,
+                                                  record_changes=True)
+                        self._record(history, record, state,
+                                     graph.num_vertices)
+                    else:
+                        tracking_stopped = True
+                        self._delta.step(graph, state)
         return state, history
 
     def _record(self, history, record, state, num_vertices):
@@ -183,9 +194,14 @@ class GraphBoltEngine:
     def apply_mutations(self, batch: MutationBatch) -> np.ndarray:
         """Mutate the graph and produce results for the new snapshot."""
         self._require_run()
-        with Timer(self.metrics, "adjust_structure"):
-            mutation = self._streaming.apply_batch(batch)
-        return self.apply_mutation_result(mutation)
+        with trace.span("batch", engine=self.name,
+                        algorithm=self.algorithm.name,
+                        index=self.batches_applied,
+                        mutations=len(batch)):
+            with trace.span("adjust_structure"), \
+                    Timer(self.metrics, "adjust_structure"):
+                mutation = self._streaming.apply_batch(batch)
+            return self._apply_mutation_result(mutation)
 
     def apply_mutation_result(self, mutation) -> np.ndarray:
         """Process an already-applied structure change.
@@ -195,7 +211,15 @@ class GraphBoltEngine:
         :class:`~repro.graph.mutable.MutationResult`.
         """
         self._require_run()
+        with trace.span("batch", engine=self.name,
+                        algorithm=self.algorithm.name,
+                        index=self.batches_applied,
+                        shared_structure=True):
+            return self._apply_mutation_result(mutation)
+
+    def _apply_mutation_result(self, mutation) -> np.ndarray:
         graph = mutation.new_graph
+        self.batches_applied += 1
 
         if self.strategy == "naive":
             self._state = self._naive_continue(graph)
@@ -214,7 +238,23 @@ class GraphBoltEngine:
         )
         self._state = state
         self._history = new_history
+        self._publish_gauges()
         return state.values
+
+    def _publish_gauges(self) -> None:
+        """Live operational gauges (the paper's Table 9, continuously):
+        frontier density, tracked window depth, dependency bytes."""
+        registry = get_registry()
+        num_vertices = max(self._streaming.graph.num_vertices, 1)
+        registry.gauge("graphbolt.frontier_density").set(
+            self._state.frontier.size / num_vertices
+        )
+        registry.gauge("graphbolt.history_window").set(
+            self._history.horizon
+        )
+        registry.gauge("graphbolt.dependency_bytes").set(
+            self._history.nbytes
+        )
 
     def _naive_continue(self, graph: CSRGraph) -> DeltaState:
         """The incorrect baseline: keep converged values as the starting
@@ -232,7 +272,8 @@ class GraphBoltEngine:
             self.max_iterations if self.until_convergence
             else self.num_iterations
         )
-        with Timer(self.metrics, "naive_continue"):
+        with trace.span("naive_continue"), \
+                Timer(self.metrics, "naive_continue"):
             for _ in range(limit):
                 if state.iteration > 0 and state.frontier.size == 0:
                     break

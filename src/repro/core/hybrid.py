@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.graph.csr import CSRGraph
 from repro.ligra.delta import DeltaEngine, DeltaState
+from repro.obs import trace
 from repro.runtime.metrics import Timer
 
 __all__ = ["hybrid_forward"]
@@ -41,16 +42,22 @@ def hybrid_forward(
     the frontier empties (capped at ``max_iterations``).
     """
     metrics = engine.metrics
-    with Timer(metrics, "hybrid"):
+    with trace.span("forward", start_iteration=state.iteration) as span, \
+            Timer(metrics, "hybrid"):
         if until_convergence:
             budget = max_iterations - state.iteration
         else:
             if total_iterations is None:
                 total_iterations = engine.algorithm.default_iterations
             budget = total_iterations - state.iteration
+        steps = 0
         for _ in range(max(budget, 0)):
             if state.iteration > 0 and state.frontier.size == 0:
                 break
-            engine.step(graph, state)
+            with trace.span("iteration", index=state.iteration + 1,
+                            frontier=int(state.frontier.size)):
+                engine.step(graph, state)
             metrics.hybrid_iterations += 1
+            steps += 1
+        span.tag(iterations=steps)
     return state

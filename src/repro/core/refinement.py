@@ -39,6 +39,7 @@ from repro.core.model import IncrementalAlgorithm
 from repro.core.pruning import PruningPolicy
 from repro.graph.mutable import MutationResult
 from repro.ligra.delta import DeltaState
+from repro.obs import trace
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["refine"]
@@ -70,7 +71,10 @@ def refine(
     refined run at the tracked horizon (ready for hybrid forward
     execution) and the refined run's own dependency history.
     """
-    with Timer(metrics, "refine"):
+    with trace.span("refine", horizon=history.horizon,
+                    additions=int(mutation.add_src.size),
+                    deletions=int(mutation.del_src.size)), \
+            Timer(metrics, "refine"):
         return _Refiner(algorithm, mutation, history, metrics,
                         pruning, mode, dense_fraction).run()
 
@@ -125,54 +129,62 @@ class _Refiner:
         # run's at the latest completed iteration (transitive impact).
         diverged = np.empty(0, dtype=np.int64)
 
-        for _ in range(self.history.horizon):
-            self.old_roll.advance()
-            self.metrics.refinement_iterations += 1
+        for index in range(self.history.horizon):
+            with trace.span("iteration", index=index + 1) as span:
+                self.old_roll.advance()
+                self.metrics.refinement_iterations += 1
 
-            g_before = g_cur               # g^T_{i-1}
-            c_before = c_cur               # c^T_{i-1}
-            sources = np.union1d(diverged, self.contrib_params)
-            if self._dense_preferred(sources):
-                g_cur, touched_candidates = self._refine_dense(c_before)
-            elif algorithm.aggregation.decomposable:
-                g_cur, touched_candidates = self._refine_decomposable(
-                    sources, c_before
-                )
-            else:
-                g_cur, touched_candidates = self._refine_by_reevaluation(
-                    sources, c_before
-                )
+                g_before = g_cur               # g^T_{i-1}
+                c_before = c_cur               # c^T_{i-1}
+                sources = np.union1d(diverged, self.contrib_params)
+                if self._dense_preferred(sources):
+                    span.tag(mode="dense")
+                    g_cur, touched_candidates = self._refine_dense(c_before)
+                elif algorithm.aggregation.decomposable:
+                    span.tag(mode="decomposable")
+                    g_cur, touched_candidates = self._refine_decomposable(
+                        sources, c_before
+                    )
+                else:
+                    span.tag(mode="reevaluate")
+                    g_cur, touched_candidates = self._refine_by_reevaluation(
+                        sources, c_before
+                    )
 
-            if touched_candidates is None:
-                touched = np.arange(num_vertices, dtype=np.int64)
-            else:
-                touched = np.union1d(touched_candidates, self.apply_params)
-                if algorithm.uses_previous_value:
-                    # Self-dependent applies (e.g. SSSP's self-min) must
-                    # re-run wherever the vertex's own value diverged.
-                    touched = np.union1d(touched, diverged)
+                if touched_candidates is None:
+                    touched = np.arange(num_vertices, dtype=np.int64)
+                else:
+                    touched = np.union1d(touched_candidates,
+                                         self.apply_params)
+                    if algorithm.uses_previous_value:
+                        # Self-dependent applies (e.g. SSSP's self-min)
+                        # must re-run wherever the vertex's own value
+                        # diverged.
+                        touched = np.union1d(touched, diverged)
 
-            c_new = self.old_roll.c.copy()
-            if touched.size:
-                self.metrics.count_vertices(touched.size)
-                previous = (
-                    c_before[touched] if algorithm.uses_previous_value
-                    else None
-                )
-                c_new[touched] = algorithm.apply(
-                    self.new_graph, g_cur[touched], touched, previous
-                )
-                moved = algorithm.values_changed(
-                    self.old_roll.c[touched], c_new[touched]
-                )
-                diverged = touched[moved]
-            else:
-                diverged = np.empty(0, dtype=np.int64)
+                c_new = self.old_roll.c.copy()
+                if touched.size:
+                    self.metrics.count_vertices(touched.size)
+                    previous = (
+                        c_before[touched] if algorithm.uses_previous_value
+                        else None
+                    )
+                    c_new[touched] = algorithm.apply(
+                        self.new_graph, g_cur[touched], touched, previous
+                    )
+                    moved = algorithm.values_changed(
+                        self.old_roll.c[touched], c_new[touched]
+                    )
+                    diverged = touched[moved]
+                else:
+                    diverged = np.empty(0, dtype=np.int64)
+                span.tag(touched=int(touched.size),
+                         diverged=int(diverged.size))
 
-            self._record(new_history, g_before, g_cur, c_before, c_new,
-                         num_vertices)
-            c_prev = c_before
-            c_cur = c_new
+                self._record(new_history, g_before, g_cur, c_before, c_new,
+                             num_vertices)
+                c_prev = c_before
+                c_cur = c_new
 
         frontier = _tolerant_changed(algorithm, c_prev, c_cur)
         state = DeltaState(

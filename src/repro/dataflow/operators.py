@@ -20,6 +20,8 @@ from collections import Counter, deque
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.dataflow.timestamps import Timestamp
+from repro.obs import trace
+from repro.obs.registry import get_registry
 
 __all__ = ["Dataflow", "Stream", "Probe", "InputSession",
            "iterate_to_fixpoint"]
@@ -65,13 +67,20 @@ class Dataflow:
 
     def run(self) -> None:
         """Process queued batches until every operator is quiescent."""
-        progressing = True
-        while progressing:
-            progressing = False
-            for node in self._nodes:
-                if node.pending:
-                    node.drain()
-                    progressing = True
+        before = self.records_processed
+        with trace.span("dataflow_run", engine="dataflow",
+                        epoch=self.current_time.epoch,
+                        step=self.current_time.step) as span:
+            progressing = True
+            while progressing:
+                progressing = False
+                for node in self._nodes:
+                    if node.pending:
+                        node.drain()
+                        progressing = True
+            processed = self.records_processed - before
+            span.tag(records=processed)
+        get_registry().counter("dataflow.records_processed").inc(processed)
 
 
 class Stream:

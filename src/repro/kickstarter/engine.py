@@ -28,6 +28,8 @@ from repro.graph.csr import CSRGraph
 from repro.graph.mutable import MutationResult, StreamingGraph
 from repro.graph.mutation import MutationBatch
 from repro.kickstarter.trees import NO_PARENT, DependencyTree, segmented_argmin
+from repro.obs import trace
+from repro.obs.registry import get_registry
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["KickStarterEngine"]
@@ -50,7 +52,10 @@ class KickStarterEngine:
         self.metrics = metrics if metrics is not None else EngineMetrics()
         self._streaming = StreamingGraph(graph)
         self.tree = DependencyTree(graph.num_vertices)
-        with Timer(self.metrics, "initial_run"):
+        self.batches_applied = 0
+        with trace.span("initial_run", engine=self.name,
+                        vertices=graph.num_vertices), \
+                Timer(self.metrics, "initial_run"):
             self.tree.values[source] = 0.0
             self._propagate(graph, np.array([source], dtype=np.int64))
 
@@ -101,16 +106,25 @@ class KickStarterEngine:
     # ------------------------------------------------------------------
     def apply_mutations(self, batch: MutationBatch) -> np.ndarray:
         """Apply one batch and restore exact values incrementally."""
-        with Timer(self.metrics, "adjust_structure"):
-            mutation = self._streaming.apply_batch(batch)
-        graph = mutation.new_graph
-        self.tree.grow_to(graph.num_vertices)
-        with Timer(self.metrics, "trim"):
-            trimmed = self._trim_deletions(graph, mutation)
-        with Timer(self.metrics, "propagate"):
-            seeds = self._relax_additions(graph, mutation)
-            frontier = np.union1d(trimmed, seeds)
-            self._propagate(graph, frontier)
+        with trace.span("batch", engine=self.name,
+                        index=self.batches_applied,
+                        mutations=len(batch)):
+            self.batches_applied += 1
+            with trace.span("adjust_structure"), \
+                    Timer(self.metrics, "adjust_structure"):
+                mutation = self._streaming.apply_batch(batch)
+            graph = mutation.new_graph
+            self.tree.grow_to(graph.num_vertices)
+            with trace.span("trim") as span, Timer(self.metrics, "trim"):
+                trimmed = self._trim_deletions(graph, mutation)
+                span.tag(trimmed=int(trimmed.size))
+            get_registry().gauge("kickstarter.trimmed_vertices").set(
+                int(trimmed.size)
+            )
+            with trace.span("propagate"), Timer(self.metrics, "propagate"):
+                seeds = self._relax_additions(graph, mutation)
+                frontier = np.union1d(trimmed, seeds)
+                self._propagate(graph, frontier)
         return self.values
 
     def _trim_deletions(self, graph: CSRGraph,

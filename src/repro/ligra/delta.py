@@ -30,6 +30,7 @@ from repro.core.model import IncrementalAlgorithm
 from repro.graph.csr import CSRGraph
 from repro.ligra.frontier import VertexSubset
 from repro.ligra.interface import edge_map, edge_map_all, pull_edges
+from repro.obs import trace
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["DeltaEngine", "DeltaState", "StepRecord"]
@@ -280,9 +281,13 @@ class DeltaEngine:
             num_iterations = self.algorithm.default_iterations
         limit = max_iterations if until_convergence else num_iterations
         state = self.initial_state(graph)
-        with Timer(self.metrics, "compute"):
+        with trace.span("compute", engine=self.name,
+                        algorithm=self.algorithm.name), \
+                Timer(self.metrics, "compute"):
             for _ in range(limit):
-                self.step(graph, state)
+                with trace.span("iteration", index=state.iteration + 1,
+                                frontier=int(state.frontier.size)):
+                    self.step(graph, state)
                 if state.iteration > 1 and state.frontier.size == 0:
                     break
         return state.values

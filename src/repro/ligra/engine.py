@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.model import IncrementalAlgorithm
 from repro.graph.csr import CSRGraph
 from repro.ligra.interface import edge_map_all
+from repro.obs import trace
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["LigraEngine"]
@@ -50,9 +51,12 @@ class LigraEngine:
         all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
 
         values = algorithm.initial_values(graph)
-        with Timer(self.metrics, "compute"):
-            for _ in range(limit):
-                new_values = self._iterate(graph, values, all_vertices)
+        with trace.span("compute", engine=self.name,
+                        algorithm=algorithm.name), \
+                Timer(self.metrics, "compute"):
+            for index in range(limit):
+                with trace.span("iteration", index=index + 1):
+                    new_values = self._iterate(graph, values, all_vertices)
                 self.metrics.iterations += 1
                 converged = not algorithm.values_changed(values, new_values).any()
                 values = new_values

@@ -1,0 +1,43 @@
+"""Observability: span tracing, metrics registry, trace rendering.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+- :mod:`repro.obs.trace` -- a span-based tracer.  Engines call
+  ``trace.span("refine", batch=k)`` around every phase; the installed
+  tracer records nested spans into a bounded ring buffer and an
+  optional JSONL journal.  The *default* tracer is a no-op whose spans
+  cost one function call, so instrumentation is effectively free until
+  a tracer is installed (``tests/obs/test_overhead.py`` pins <5%).
+- :mod:`repro.obs.registry` -- a process-wide metrics registry
+  (counters, gauges, fixed-bucket histograms).  Engines feed their
+  :class:`~repro.runtime.metrics.EngineMetrics` totals and live gauges
+  (frontier density, history window, dependency bytes) into it;
+  ``MetricsRegistry.to_json()`` exports everything.
+- :mod:`repro.obs.render` -- renders a recorded span stream as a
+  per-batch flame-style text breakdown (the ``repro trace`` command).
+"""
+
+from repro.obs.journal import JsonlJournal, read_journal
+from repro.obs.registry import (
+    MetricsRegistry,
+    get_registry,
+    ingest_engine_metrics,
+    set_registry,
+)
+from repro.obs.render import format_trace, phase_breakdown
+from repro.obs.trace import NULL_TRACER, Tracer, activated, get_tracer
+
+__all__ = [
+    "JsonlJournal",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Tracer",
+    "activated",
+    "format_trace",
+    "get_registry",
+    "get_tracer",
+    "ingest_engine_metrics",
+    "phase_breakdown",
+    "read_journal",
+    "set_registry",
+]

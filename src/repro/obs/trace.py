@@ -1,0 +1,210 @@
+"""Span-based tracing with a zero-cost disabled path.
+
+Usage at an instrumentation site::
+
+    from repro.obs import trace
+
+    with trace.span("refine", batch=3, horizon=7) as sp:
+        ...
+        sp.tag(mode="dense")
+
+``trace.span`` dispatches to the *installed* tracer.  By default that
+is :data:`NULL_TRACER`, whose ``span`` returns a shared no-op context
+manager -- the disabled cost is one method call plus the keyword dict,
+which the overhead test bounds at <5% of engine runtime even for
+per-iteration spans.  Installing a :class:`Tracer` (directly, via
+:func:`activated`, or through ``repro run --trace-out``) turns the
+same call sites into a recorded span tree.
+
+Recorded spans are emitted *post-order on exit* as plain dicts:
+
+``{"type": "span", "id": 4, "parent": 1, "name": "refine",``
+``"start": 0.01, "duration": 0.002, "tags": {...}}``
+
+``id`` is a per-tracer sequential counter and ``parent`` links the
+enclosing span (``None`` at the root), so the tree is reconstructible
+from the flat stream (:func:`repro.obs.render.build_tree`).  Ids
+depend only on control flow, never on timing, so two runs of the same
+workload produce the same tree shape -- which is what lets the fuzz
+harness attach trace dumps to shrunk failure repros.
+
+The tracer keeps the most recent ``capacity`` spans in a ring buffer
+and optionally forwards every span to a sink (anything with a
+``write(record: dict)`` method, e.g. :class:`repro.obs.journal.JsonlJournal`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "activated",
+    "enabled",
+    "get_tracer",
+    "install",
+    "span",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def tag(self, **tags) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every span is the shared no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **tags) -> _NullSpan:
+        return _NULL_SPAN
+
+    def events(self) -> List[Dict]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One live span; records itself into the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "tags", "id", "parent", "start",
+                 "duration")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.id: Optional[int] = None
+        self.parent: Optional[int] = None
+        self.start = 0.0
+        self.duration = 0.0
+
+    def tag(self, **tags) -> None:
+        """Attach tags discovered mid-span (e.g. the mode chosen)."""
+        self.tags.update(tags)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.id = tracer._next_id
+        tracer._next_id += 1
+        stack = tracer._stack
+        self.parent = stack[-1] if stack else None
+        stack.append(self.id)
+        self.start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        self.duration = tracer._clock() - self.start
+        tracer._stack.pop()
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        tracer._finish(self)
+        return False
+
+
+class Tracer:
+    """Records a span tree into a ring buffer and an optional sink.
+
+    ``capacity`` bounds the in-memory buffer (oldest spans fall off);
+    the sink, if any, sees every span.  ``clock`` is injectable for
+    tests (defaults to :func:`time.perf_counter`, rebased so the first
+    span starts near zero).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536, sink=None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self._buffer: deque = deque(maxlen=capacity)
+        self._sink = sink
+        self._stack: List[int] = []
+        self._next_id = 0
+        self._epoch = clock()
+        self._raw_clock = clock
+        self._clock = lambda: self._raw_clock() - self._epoch
+
+    def span(self, name: str, **tags) -> Span:
+        return Span(self, name, tags)
+
+    def _finish(self, span: Span) -> None:
+        record = {
+            "type": "span",
+            "id": span.id,
+            "parent": span.parent,
+            "name": span.name,
+            "start": span.start,
+            "duration": span.duration,
+            "tags": span.tags,
+        }
+        self._buffer.append(record)
+        if self._sink is not None:
+            self._sink.write(record)
+
+    def events(self) -> List[Dict]:
+        """Finished spans, oldest first (bounded by ``capacity``)."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+# ----------------------------------------------------------------------
+# The installed tracer (process-wide dispatch point)
+# ----------------------------------------------------------------------
+_ACTIVE = NULL_TRACER
+
+
+def span(name: str, **tags):
+    """Open a span on the installed tracer (no-op when disabled)."""
+    return _ACTIVE.span(name, **tags)
+
+
+def enabled() -> bool:
+    """True when a recording tracer is installed -- guard any tag
+    computation that is expensive enough to matter when disabled."""
+    return _ACTIVE.enabled
+
+
+def get_tracer():
+    return _ACTIVE
+
+
+def install(tracer) -> object:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def activated(tracer):
+    """Install ``tracer`` for the duration of a ``with`` block."""
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)

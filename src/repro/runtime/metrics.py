@@ -18,7 +18,7 @@ one integer addition per kernel call, not per edge.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 __all__ = ["EngineMetrics", "MemoryReport", "Timer"]
@@ -44,52 +44,52 @@ class EngineMetrics:
     def add_phase_time(self, phase: str, seconds: float) -> None:
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
+    # Every method below iterates ``dataclasses.fields`` instead of
+    # naming fields, so adding a counter (here or in a subclass) can
+    # never silently drop it from snapshots, deltas, or merges.
+    # Numeric fields add/subtract; dict fields (phase_seconds, or any
+    # future str->number map) combine per key.
     def merge(self, other: "EngineMetrics") -> None:
-        self.edge_computations += other.edge_computations
-        self.vertex_computations += other.vertex_computations
-        self.iterations += other.iterations
-        self.refinement_iterations += other.refinement_iterations
-        self.hybrid_iterations += other.hybrid_iterations
-        for phase, seconds in other.phase_seconds.items():
-            self.add_phase_time(phase, seconds)
+        for spec in fields(self):
+            value = getattr(other, spec.name)
+            if isinstance(value, dict):
+                mine = getattr(self, spec.name)
+                for key, amount in value.items():
+                    mine[key] = mine.get(key, 0.0) + amount
+            else:
+                setattr(self, spec.name, getattr(self, spec.name) + value)
 
     def snapshot(self) -> "EngineMetrics":
-        copy = EngineMetrics(
-            edge_computations=self.edge_computations,
-            vertex_computations=self.vertex_computations,
-            iterations=self.iterations,
-            refinement_iterations=self.refinement_iterations,
-            hybrid_iterations=self.hybrid_iterations,
-        )
-        copy.phase_seconds = dict(self.phase_seconds)
+        copy = type(self)()
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            setattr(copy, spec.name,
+                    dict(value) if isinstance(value, dict) else value)
         return copy
 
     def delta_since(self, earlier: "EngineMetrics") -> "EngineMetrics":
         """Metrics accumulated since an earlier :meth:`snapshot`."""
-        delta = EngineMetrics(
-            edge_computations=self.edge_computations - earlier.edge_computations,
-            vertex_computations=(
-                self.vertex_computations - earlier.vertex_computations
-            ),
-            iterations=self.iterations - earlier.iterations,
-            refinement_iterations=(
-                self.refinement_iterations - earlier.refinement_iterations
-            ),
-            hybrid_iterations=self.hybrid_iterations - earlier.hybrid_iterations,
-        )
-        for phase, seconds in self.phase_seconds.items():
-            delta.phase_seconds[phase] = seconds - earlier.phase_seconds.get(
-                phase, 0.0
-            )
+        delta = type(self)()
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            before = getattr(earlier, spec.name)
+            if isinstance(value, dict):
+                setattr(delta, spec.name, {
+                    key: amount - before.get(key, 0.0)
+                    for key, amount in value.items()
+                })
+            else:
+                setattr(delta, spec.name, value - before)
         return delta
 
     def reset(self) -> None:
-        self.edge_computations = 0
-        self.vertex_computations = 0
-        self.iterations = 0
-        self.refinement_iterations = 0
-        self.hybrid_iterations = 0
-        self.phase_seconds.clear()
+        blank = type(self)()
+        for spec in fields(self):
+            current = getattr(self, spec.name)
+            if isinstance(current, dict):
+                current.clear()
+            else:
+                setattr(self, spec.name, getattr(blank, spec.name))
 
 
 @dataclass

@@ -34,6 +34,8 @@ from repro.core.model import IncrementalAlgorithm
 from repro.graph.csr import CSRGraph
 from repro.graph.mutation import MutationBatch
 from repro.ligra.delta import DeltaEngine
+from repro.obs import trace
+from repro.obs.registry import get_registry
 from repro.runtime.metrics import EngineMetrics
 
 __all__ = ["QueryResult", "StreamingAnalyticsServer"]
@@ -97,8 +99,19 @@ class StreamingAnalyticsServer:
 
     def ingest(self, batch: MutationBatch) -> np.ndarray:
         """Apply one mutation batch in the main loop."""
-        values = self.engine.apply_mutations(batch)
+        start = time.perf_counter()
+        with trace.span("ingest", loop="main",
+                        index=self.batches_ingested,
+                        mutations=len(batch)):
+            values = self.engine.apply_mutations(batch)
         self.batches_ingested += 1
+        registry = get_registry()
+        registry.histogram("serving.ingest_seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.gauge("serving.batches_ingested").set(
+            self.batches_ingested
+        )
         return values
 
     # ------------------------------------------------------------------
@@ -116,13 +129,19 @@ class StreamingAnalyticsServer:
         metrics = EngineMetrics()
         branch_engine = DeltaEngine(self.algorithm_factory(), metrics)
         state = self.engine._state.copy()
-        hybrid_forward(
-            branch_engine, self.engine.graph, state,
-            total_iterations=self.exact_iterations,
-            until_convergence=until_convergence,
-            max_iterations=self.max_iterations,
-        )
+        with trace.span("query", loop="branch",
+                        index=self.queries_served) as span:
+            hybrid_forward(
+                branch_engine, self.engine.graph, state,
+                total_iterations=self.exact_iterations,
+                until_convergence=until_convergence,
+                max_iterations=self.max_iterations,
+            )
+            span.tag(iterations=state.iteration)
         self.queries_served += 1
+        get_registry().histogram("serving.query_seconds").observe(
+            time.perf_counter() - start
+        )
         return QueryResult(
             values=state.values,
             iterations=state.iteration,

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from repro.obs import JsonlJournal, Tracer, trace
 from repro.testing.oracle import WorkloadReport, check_workload
 from repro.testing.shrinker import shrink, to_pytest
 from repro.testing.workloads import Workload, generate_workload
@@ -56,6 +57,21 @@ def parse_budget(text: Optional[str]) -> Optional[float]:
     return value * unit
 
 
+def _journal_failure(journal: JsonlJournal, workload: Workload,
+                     seed: int, report: WorkloadReport,
+                     engines, include_naive: bool) -> None:
+    """Append a ``repro`` marker and a traced replay of ``workload``."""
+    journal.write({
+        "type": "repro",
+        "seed": seed,
+        "workload": workload.describe(),
+        "divergences": [str(d) for d in report.divergences],
+    })
+    with trace.activated(Tracer(sink=journal)):
+        check_workload(workload, engines=engines,
+                       include_naive=include_naive)
+
+
 def run_fuzz(
     seed: int = 0,
     workloads: int = 25,
@@ -67,11 +83,21 @@ def run_fuzz(
     do_shrink: bool = True,
     shrink_checks: int = 300,
     plant_bug: bool = False,
+    trace_path: Optional[str] = None,
     emit: Callable[[str], None] = print,
 ) -> FuzzOutcome:
-    """Run a fuzzing campaign; see module docstring."""
+    """Run a fuzzing campaign; see module docstring.
+
+    ``trace_path`` journals a span dump of every failure: after
+    shrinking, the minimised workload is replayed under a recording
+    tracer and its span tree is appended (preceded by a ``repro``
+    marker record) -- span ids depend only on control flow, so the
+    dump is reproducible alongside the emitted pytest repro.
+    """
     outcome = FuzzOutcome()
     start = time.perf_counter()
+    journal = (JsonlJournal.open(trace_path) if trace_path is not None
+               else None)
 
     for index in range(workloads):
         if budget_seconds is not None:
@@ -101,6 +127,10 @@ def run_fuzz(
         for divergence in report.divergences:
             emit(f"    {divergence}")
         if not do_shrink:
+            if journal is not None:
+                _journal_failure(journal, workload, seed + index,
+                                 report, engines, plant_bug)
+                emit(f"    trace dump -> {trace_path}")
             continue
 
         def is_failing(candidate: Workload) -> bool:
@@ -111,6 +141,10 @@ def run_fuzz(
 
         result = shrink(workload, is_failing, max_checks=shrink_checks)
         outcome.shrunk.append(result.workload)
+        if journal is not None:
+            _journal_failure(journal, result.workload, seed + index,
+                             report, engines, plant_bug)
+            emit(f"    trace dump -> {trace_path}")
         emit(
             f"    shrunk to V={result.workload.num_vertices}, "
             f"E={len(result.workload.edges)}, "
@@ -128,6 +162,8 @@ def run_fuzz(
             emit("    " + line)
         emit("    " + "-" * 61)
 
+    if journal is not None:
+        journal.close()
     outcome.elapsed_seconds = time.perf_counter() - start
     if plant_bug:
         caught = any(

@@ -1,6 +1,9 @@
 """Unit tests for metrics, timers and memory reports."""
 
 import time
+from dataclasses import dataclass
+
+import pytest
 
 from repro.runtime.metrics import EngineMetrics, MemoryReport, Timer
 
@@ -53,6 +56,40 @@ class TestEngineMetrics:
         assert metrics.edge_computations == 0
         assert metrics.phase_seconds == {}
 
+    def test_reset_preserves_dict_identity(self):
+        # Callers may hold a reference to phase_seconds across resets.
+        metrics = EngineMetrics()
+        phases = metrics.phase_seconds
+        metrics.add_phase_time("x", 1.0)
+        metrics.reset()
+        assert metrics.phase_seconds is phases
+
+    def test_new_field_survives_snapshot_delta_round_trip(self):
+        # Regression: snapshot/delta_since once listed fields by hand,
+        # so a newly added counter silently vanished from both.  They
+        # now iterate dataclasses.fields -- a subclass with an extra
+        # field must round-trip it with zero extra code.
+        @dataclass
+        class Extended(EngineMetrics):
+            cache_hits: int = 0
+
+        metrics = Extended()
+        metrics.count_edges(4)
+        metrics.cache_hits = 3
+        snap = metrics.snapshot()
+        assert isinstance(snap, Extended)
+        assert snap.cache_hits == 3
+        metrics.cache_hits += 7
+        metrics.count_edges(1)
+        delta = metrics.delta_since(snap)
+        assert delta.cache_hits == 7
+        assert delta.edge_computations == 1
+        other = Extended(cache_hits=5)
+        metrics.merge(other)
+        assert metrics.cache_hits == 15
+        metrics.reset()
+        assert metrics.cache_hits == 0
+
 
 class TestTimer:
     def test_records_elapsed(self):
@@ -74,6 +111,16 @@ class TestTimer:
             pass
         assert timer.elapsed >= 0.0
 
+    def test_records_on_exception_and_propagates(self):
+        metrics = EngineMetrics()
+        with pytest.raises(ValueError):
+            with Timer(metrics, "phase") as timer:
+                time.sleep(0.005)
+                raise ValueError("boom")
+        # The phase time still lands, and the exception is not eaten.
+        assert timer.elapsed >= 0.005
+        assert metrics.phase_seconds["phase"] >= 0.005
+
 
 class TestMemoryReport:
     def test_overhead(self):
@@ -84,3 +131,8 @@ class TestMemoryReport:
     def test_zero_baseline(self):
         assert MemoryReport(0, 0).overhead_fraction == 0.0
         assert MemoryReport(0, 5).overhead_fraction == float("inf")
+
+    def test_zero_baseline_percent(self):
+        # The percent view follows the fraction through both edges.
+        assert MemoryReport(0, 0).overhead_percent == 0.0
+        assert MemoryReport(0, 5).overhead_percent == float("inf")

@@ -1,9 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import ALGORITHMS, ENGINES, main, parse_graph
+from repro.obs import read_journal
+from repro.obs.render import build_tree
 
 
 class TestParseGraph:
@@ -91,6 +95,97 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_positional_graph_spec_overrides_flag(self, capsys):
+        code = main([
+            "run", "rmat:7:4", "--batches", "1", "--batch-size", "5",
+            "--iterations", "3",
+        ])
+        assert code == 0
+        assert "rmat:7:4" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_run_trace_out_journals_span_tree(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        batches = 3
+        code = main([
+            "run", "rmat:7:4", "--algorithm", "pagerank",
+            "--batches", str(batches), "--batch-size", "10",
+            "--iterations", "4", "--trace-out", path,
+        ])
+        assert code == 0
+        # Every line parses; the stream mixes run/batch/span records.
+        records = read_journal(path)
+        kinds = {record["type"] for record in records}
+        assert {"run", "batch", "span"} <= kinds
+        batch_records = read_journal(path, record_type="batch")
+        assert [r["index"] for r in batch_records] == list(range(batches))
+        # The span tree covers every batch with refine+forward phases.
+        roots = build_tree(read_journal(path, record_type="span"))
+        batch_roots = [r for r in roots if r["name"] == "batch"]
+        assert len(batch_roots) == batches
+        for root in batch_roots:
+            phases = {child["name"] for child in root["children"]}
+            assert {"refine", "forward"} <= phases
+
+    def test_run_json_emits_parseable_lines(self, capsys):
+        code = main([
+            "run", "--graph", "rmat:7:4", "--batches", "2",
+            "--batch-size", "10", "--iterations", "4", "--json",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "run"
+        assert records[0]["engine"] == "graphbolt"
+        batch_records = [r for r in records if r["type"] == "batch"]
+        assert [r["index"] for r in batch_records] == [0, 1]
+        assert all("edge_computations" in r for r in batch_records)
+
+    def test_run_json_with_validate_includes_error(self, capsys):
+        code = main([
+            "run", "--graph", "rmat:7:4", "--batches", "1",
+            "--batch-size", "5", "--iterations", "4", "--json",
+            "--validate",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        batch = [json.loads(l) for l in lines][-1]
+        assert batch["max_error"] < 1e-6
+
+    def test_trace_renders_phase_breakdown(self, capsys):
+        code = main([
+            "trace", "rmat:7:4", "--batches", "2", "--batch-size", "10",
+            "--iterations", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch" in out
+        assert "refine" in out
+        assert "forward" in out
+        assert "%" in out and "ms" in out
+
+    def test_trace_with_journal(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        code = main([
+            "trace", "rmat:7:4", "--batches", "1", "--batch-size", "5",
+            "--iterations", "3", "--trace-out", path,
+        ])
+        assert code == 0
+        assert read_journal(path, record_type="span")
+
+    def test_fuzz_trace_out_attaches_repro_dump(self, tmp_path, capsys):
+        path = str(tmp_path / "fuzz.jsonl")
+        code = main([
+            "fuzz", "--plant-bug", "--workloads", "4", "--seed", "0",
+            "--max-vertices", "24", "--max-batches", "3",
+            "--trace-out", path,
+        ])
+        assert code == 0  # planted bug was caught
+        repros = read_journal(path, record_type="repro")
+        assert repros and "divergences" in repros[0]
+        assert read_journal(path, record_type="span")
 
 
 class TestBenchSubcommand:
