@@ -15,6 +15,17 @@ Commands
            through every engine and cross-check per-batch
            BSP-equivalence (see ``docs/testing.md``).  ``--trace-out``
            attaches span dumps of shrunk failures to a JSONL journal.
+           ``--crash`` switches to the crash-recovery fuzzer: kill a
+           durable server at a seeded failpoint, recover from
+           checkpoint + WAL, and assert bit-for-bit equivalence (see
+           ``docs/operations.md``).
+``serve``  run a durable streaming deployment: ingest seeded batches
+           with a write-ahead log and periodic atomic checkpoints
+           (``--wal DIR --checkpoint-every N``).
+``recover`` restore a crashed ``serve`` deployment from its state
+           directory (newest loadable checkpoint + WAL-tail replay);
+           ``--verify`` re-runs the schedule from scratch and checks
+           the recovered values bit-for-bit.
 
 Graph specs
 -----------
@@ -252,9 +263,113 @@ def _cmd_bench(args) -> int:
     return bench_main(["repro.bench"] + args.experiments)
 
 
+def _cmd_serve(args) -> int:
+    from repro.recovery import RecoveryManager
+    from repro.serving.server import StreamingAnalyticsServer
+
+    spec = _spec_of(args)
+    graph = parse_graph(spec)
+    recovery = None
+    if args.wal:
+        recovery = RecoveryManager(
+            args.wal, checkpoint_every=args.checkpoint_every,
+            retain=args.retain,
+        )
+        recovery.write_manifest({
+            "algorithm": args.algorithm,
+            "graph": spec,
+            "approx_iterations": args.iterations,
+            "batch_size": args.batch_size,
+            "seed": args.seed,
+        })
+    server = StreamingAnalyticsServer(
+        ALGORITHMS[args.algorithm], graph,
+        approx_iterations=args.iterations, recovery=recovery,
+    )
+    rows: List[List] = []
+    for index in range(args.batches):
+        batch = uniform_batch(server.graph, args.batch_size,
+                              seed=args.seed + index)
+        start = time.perf_counter()
+        server.ingest(batch)
+        rows.append([index, len(batch),
+                     round(time.perf_counter() - start, 4)])
+    print(format_table(
+        ["batch", "mutations", "seconds"], rows,
+        title=f"serve {args.algorithm} on {spec}"
+        + (f" (durable: {args.wal})" if args.wal else ""),
+    ))
+    if recovery is not None:
+        generations = recovery.checkpoints()
+        print(f"state: {server.batches_ingested} batch(es) WAL-logged, "
+              f"{len(generations)} checkpoint generation(s), newest at "
+              f"seq {generations[-1][0] if generations else '-'}, "
+              f"{len(recovery.quarantined)} quarantined")
+        recovery.close()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    import numpy as _np
+
+    from repro.recovery import RecoveryManager
+
+    recovery = RecoveryManager(args.state_dir)
+    manifest = recovery.read_manifest()
+    factory = ALGORITHMS[manifest["algorithm"]]
+    server = recovery.recover(factory)
+    values = server.approximate_values
+    print(f"recovered {manifest['algorithm']} on {manifest['graph']}: "
+          f"{server.batches_ingested} batch(es) replayed into a live "
+          f"server, |values|_1 = {float(_np.abs(values).sum()):.6g}, "
+          f"{len(recovery.quarantined)} quarantined, "
+          f"{recovery.wal.torn_records_truncated} torn record(s) "
+          f"truncated")
+    if args.verify:
+        from repro.serving.server import StreamingAnalyticsServer
+        from repro.testing.oracle import compare_snapshots
+
+        graph = parse_graph(manifest["graph"])
+        shadow = StreamingAnalyticsServer(
+            factory, graph,
+            approx_iterations=manifest["approx_iterations"],
+        )
+        for index in range(server.batches_ingested):
+            batch = uniform_batch(shadow.graph, manifest["batch_size"],
+                                  seed=manifest["seed"] + index)
+            shadow.ingest(batch)
+        verdict = compare_snapshots(values, shadow.approximate_values,
+                                    tolerance=0.0)
+        if verdict is not None:
+            print(f"verify: MISMATCH -- {verdict[1]}")
+            return 1
+        print("verify: recovered state is bit-for-bit equal to an "
+              "uninterrupted replay")
+    recovery.close()
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.testing import parse_budget, run_fuzz
 
+    if args.plant_fault and not args.crash:
+        print("--plant-fault requires --crash")
+        return 2
+    if args.crash:
+        from repro.testing.crash import run_crash_fuzz, run_plant_fault
+
+        if args.plant_fault:
+            return 0 if run_plant_fault(seed=args.seed) else 1
+        outcome = run_crash_fuzz(
+            seed=args.seed,
+            rounds=args.rounds,
+            algorithms=args.algorithms or None,
+            max_vertices=min(args.max_vertices, 48),
+            max_batches=args.max_batches,
+            checkpoint_every=args.checkpoint_every,
+            artifacts_dir=args.artifacts_dir,
+        )
+        return 0 if outcome.ok else 1
     outcome = run_fuzz(
         seed=args.seed,
         workloads=args.workloads,
@@ -330,6 +445,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment names (default: all)")
     bench.set_defaults(handler=_cmd_bench)
 
+    serve = sub.add_parser(
+        "serve",
+        help="durable streaming deployment (WAL + checkpoints)",
+    )
+    add_stream_options(serve, default_graph="rmat:10")
+    serve.add_argument("--wal", default=None, metavar="DIR",
+                       help="state directory for the write-ahead log "
+                            "and checkpoints (omit for an ephemeral "
+                            "server)")
+    serve.add_argument("--checkpoint-every", type=int, default=16,
+                       help="checkpoint cadence in batches")
+    serve.add_argument("--retain", type=int, default=3,
+                       help="checkpoint generations to keep")
+    serve.set_defaults(handler=_cmd_serve)
+
+    recover = sub.add_parser(
+        "recover",
+        help="restore a crashed `serve --wal` deployment from disk",
+    )
+    recover.add_argument("state_dir", help="the serve --wal directory")
+    recover.add_argument("--verify", action="store_true",
+                         help="replay the schedule from scratch and "
+                              "compare bit-for-bit")
+    recover.set_defaults(handler=_cmd_recover)
+
     fuzz = sub.add_parser(
         "fuzz", help="cross-engine differential fuzzing"
     )
@@ -353,6 +493,22 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--plant-bug", action="store_true",
                       help="self-test: include the known-broken naive "
                            "strategy and succeed only if it is caught")
+    fuzz.add_argument("--crash", action="store_true",
+                      help="crash-recovery mode: kill a durable server "
+                           "at a seeded failpoint, recover from "
+                           "checkpoint + WAL, assert bit-for-bit "
+                           "equivalence")
+    fuzz.add_argument("--rounds", type=int, default=8,
+                      help="kill-and-recover rounds (--crash only)")
+    fuzz.add_argument("--checkpoint-every", type=int, default=2,
+                      help="checkpoint cadence for --crash servers")
+    fuzz.add_argument("--artifacts-dir", default=None,
+                      help="keep WAL/state + repro for failed --crash "
+                           "rounds under this directory")
+    fuzz.add_argument("--plant-fault", action="store_true",
+                      help="self-test (--crash): arm a transient fault "
+                           "and succeed only if the failpoint registry "
+                           "fires and retry absorbs it")
     fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 

@@ -1,0 +1,40 @@
+"""Fault tolerance: write-ahead logging, checkpointing, crash recovery.
+
+A streaming deployment survives a crash as *checkpoint + WAL tail*:
+
+- :mod:`repro.recovery.wal` -- an append-only, CRC-guarded JSONL log of
+  every ingested :class:`~repro.graph.mutation.MutationBatch`, written
+  before the engine applies it, with a torn-tail detector that
+  truncates (not crashes) on a partial final record;
+- :mod:`repro.recovery.manager` -- periodic atomic checkpoints
+  (temp file + ``os.replace``, checksum in the payload, retained
+  generations), WAL garbage collection, durable poison-batch
+  quarantine, and verified recovery back into a running
+  :class:`~repro.serving.server.StreamingAnalyticsServer`.
+
+``repro fuzz --crash`` (:mod:`repro.testing.crash`) proves the recovery
+path bit-for-bit equivalent to an uninterrupted run at every registered
+failpoint; see ``docs/operations.md`` for the operational story.
+"""
+
+from repro.recovery.manager import (
+    RecoveryError,
+    RecoveryManager,
+    default_poison_check,
+)
+from repro.recovery.wal import (
+    WALCorruptionError,
+    WriteAheadLog,
+    batch_to_payload,
+    payload_to_batch,
+)
+
+__all__ = [
+    "RecoveryError",
+    "RecoveryManager",
+    "WALCorruptionError",
+    "WriteAheadLog",
+    "batch_to_payload",
+    "default_poison_check",
+    "payload_to_batch",
+]

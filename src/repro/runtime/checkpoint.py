@@ -9,6 +9,22 @@ frontier, and the per-iteration dependency history -- to a single
 exactly where the saved one stopped (same values, same refinement
 behaviour on the next batch).
 
+Durability discipline (see ``docs/operations.md``):
+
+- **Atomic publish** -- the payload is written to a temp file in the
+  *same directory* and moved into place with ``os.replace``, so a crash
+  mid-write leaves either the previous checkpoint or none, never a
+  truncated ``.npz``.  ``save_engine`` returns the real on-disk path
+  (``numpy`` appends ``.npz`` to suffix-less names; the returned path
+  always names an existing file).
+- **Checksum in the payload** -- a CRC32 over every array's name,
+  dtype, shape, and bytes is stored under ``payload_crc32`` and
+  verified by :func:`load_engine` before anything is interpreted.
+- **Structural validation on load** -- array shapes, dtypes, and index
+  ranges are checked against ``num_vertices`` so a corrupted (or
+  wrong-file) checkpoint raises a clear ``ValueError`` instead of
+  propagating garbage into the engine.
+
 The algorithm itself is *not* serialised (closures and potentials do
 not round-trip safely through arrays); the caller supplies an equally
 configured algorithm instance at load time, and a fingerprint check
@@ -17,7 +33,12 @@ rejects obvious mismatches.
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+import tempfile
+import zipfile
+import zlib
+from contextlib import contextmanager
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -27,10 +48,17 @@ from repro.core.model import IncrementalAlgorithm
 from repro.core.pruning import PruningPolicy
 from repro.graph.csr import CSRGraph
 from repro.ligra.delta import DeltaState
+from repro.testing import faults
 
-__all__ = ["save_engine", "load_engine"]
+__all__ = [
+    "load_engine",
+    "read_checkpoint_extra",
+    "save_engine",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_CRC_KEY = "payload_crc32"
+_EXTRA_PREFIX = "extra_"
 
 
 def _fingerprint(algorithm: IncrementalAlgorithm) -> str:
@@ -41,8 +69,33 @@ def _fingerprint(algorithm: IncrementalAlgorithm) -> str:
     )
 
 
-def save_engine(engine: GraphBoltEngine, path: str) -> str:
-    """Persist a run engine's state; returns the path written."""
+def _payload_crc32(payload: Dict[str, np.ndarray]) -> int:
+    """CRC32 over every entry's name, dtype, shape, and raw bytes."""
+    crc = 0
+    for key in sorted(payload):
+        if key == _CRC_KEY:
+            continue
+        arr = np.asarray(payload[key])
+        for piece in (key, str(arr.dtype), str(arr.shape)):
+            crc = zlib.crc32(piece.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc
+
+
+def _normalise_path(path: str) -> str:
+    """The path ``numpy`` will actually write (suffix made explicit)."""
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def save_engine(engine: GraphBoltEngine, path: str,
+                extra: Optional[Dict[str, np.ndarray]] = None) -> str:
+    """Atomically persist a run engine's state; returns the on-disk path.
+
+    ``extra`` entries (e.g. a recovery sequence number) are stored under
+    ``extra_``-prefixed keys, covered by the payload checksum, ignored
+    by :func:`load_engine`, and read back with
+    :func:`read_checkpoint_extra`.
+    """
     engine._require_run()
     graph = engine.graph
     if not isinstance(graph, CSRGraph):
@@ -74,8 +127,116 @@ def save_engine(engine: GraphBoltEngine, path: str) -> str:
         payload[f"rec_{index}_g_values"] = record.g_values
         payload[f"rec_{index}_c_idx"] = record.c_idx
         payload[f"rec_{index}_c_values"] = record.c_values
-    np.savez_compressed(path, **payload)
+    if extra:
+        for key, value in extra.items():
+            payload[f"{_EXTRA_PREFIX}{key}"] = np.asarray(value)
+    payload[_CRC_KEY] = np.uint32(_payload_crc32(payload))
+
+    path = _normalise_path(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    faults.hit("checkpoint.write")
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            np.savez_compressed(stream, **payload)
+        faults.hit("checkpoint.replace")
+        os.replace(tmp_path, path)
+    except BaseException:
+        # A failed (or crashed-over) write must not leave the temp file
+        # masquerading as state; the published checkpoint is untouched.
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+        raise
     return path
+
+
+# ----------------------------------------------------------------------
+# Load-time validation
+# ----------------------------------------------------------------------
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"corrupt checkpoint: {message}")
+
+
+@contextmanager
+def _checkpoint_data(path: str):
+    """Open an ``.npz`` checkpoint, folding every way a damaged archive
+    can fail (bad zip directory, bad member CRC, truncated deflate
+    stream, missing arrays) into one clear ``ValueError``.
+
+    ``npz`` members decompress lazily, so these errors can surface at
+    any ``data[key]`` access inside the block, not just at open."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            yield data
+    except ValueError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, EOFError, KeyError) as exc:
+        raise ValueError(
+            f"corrupt checkpoint: {path} is unreadable "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def _check_index_array(name: str, arr: np.ndarray,
+                       num_vertices: int) -> None:
+    _require(arr.ndim == 1, f"{name} must be 1-D, got shape {arr.shape}")
+    _require(np.issubdtype(arr.dtype, np.integer),
+             f"{name} must be integer, got dtype {arr.dtype}")
+    if arr.size:
+        _require(int(arr.min()) >= 0 and int(arr.max()) < num_vertices,
+                 f"{name} indexes outside [0, {num_vertices})")
+
+
+def _verify_payload(data, path: str) -> None:
+    """Checksum plus structural validation, before interpretation."""
+    version = int(data["format_version"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version}")
+    if _CRC_KEY not in data:
+        raise ValueError(f"corrupt checkpoint: {path} has no checksum")
+    payload = {key: data[key] for key in data.files if key != _CRC_KEY}
+    stored = int(np.uint32(data[_CRC_KEY]))
+    actual = _payload_crc32(payload)
+    _require(stored == actual,
+             f"checksum mismatch in {path} "
+             f"(stored {stored}, computed {actual})")
+
+    num_vertices = int(data["num_vertices"])
+    _require(num_vertices >= 0, "negative vertex count")
+    for name in ("src", "dst"):
+        _check_index_array(name, data[name], num_vertices)
+    _require(data["weight"].shape == data["src"].shape,
+             "edge weight array does not match endpoints")
+    values = data["values"]
+    _require(values.shape[0] == num_vertices if values.ndim else False,
+             f"values length {values.shape} != num_vertices "
+             f"{num_vertices}")
+    _require(data["prev_values"].shape == values.shape,
+             "prev_values shape does not match values")
+    _require(data["aggregate"].shape[0] == num_vertices
+             if data["aggregate"].ndim else False,
+             "aggregate length != num_vertices")
+    _check_index_array("frontier", data["frontier"], num_vertices)
+    _require(int(data["iteration"]) >= 0, "negative iteration")
+    _require(data["hist_initial"].shape == values.shape,
+             "history initial values shape does not match values")
+    hist_len = int(data["hist_len"])
+    _require(hist_len >= 0, "negative history length")
+    for index in range(hist_len):
+        for part in ("g_idx", "g_values", "c_idx", "c_values"):
+            _require(f"rec_{index}_{part}" in data,
+                     f"history record {index} is missing {part}")
+        g_idx = data[f"rec_{index}_g_idx"]
+        c_idx = data[f"rec_{index}_c_idx"]
+        _check_index_array(f"rec_{index}_g_idx", g_idx, num_vertices)
+        _check_index_array(f"rec_{index}_c_idx", c_idx, num_vertices)
+        _require(data[f"rec_{index}_g_values"].shape[0] == g_idx.size,
+                 f"history record {index} aggregate values do not "
+                 f"match indices")
+        _require(data[f"rec_{index}_c_values"].shape[0] == c_idx.size,
+                 f"history record {index} vertex values do not "
+                 f"match indices")
 
 
 def load_engine(
@@ -88,12 +249,12 @@ def load_engine(
 
     ``algorithm`` must be configured identically to the one that was
     checkpointed (same class, shapes and aggregation); a fingerprint
-    mismatch raises ``ValueError`` rather than corrupting results.
+    mismatch raises ``ValueError`` rather than corrupting results.  The
+    payload checksum and array shapes/ranges are verified first, so a
+    corrupted file fails loudly.
     """
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
+    with _checkpoint_data(path) as data:
+        _verify_payload(data, path)
         stored = str(data["fingerprint"])
         actual = _fingerprint(algorithm)
         if stored != actual:
@@ -131,3 +292,13 @@ def load_engine(
             )
         engine._history = history
         return engine
+
+
+def read_checkpoint_extra(path: str) -> Dict[str, np.ndarray]:
+    """Checksum-verified ``extra`` metadata stored by :func:`save_engine`."""
+    with _checkpoint_data(path) as data:
+        _verify_payload(data, path)
+        return {
+            key[len(_EXTRA_PREFIX):]: data[key]
+            for key in data.files if key.startswith(_EXTRA_PREFIX)
+        }

@@ -18,6 +18,17 @@ Architecture (after Tornado, adapted to GraphBolt's state):
 The branch runs against the snapshot current at query time; batches
 ingested afterwards do not retroactively change an answered query
 (the buffering semantics of paper section 4.1).
+
+Fault tolerance (see ``docs/operations.md``): pass a
+:class:`~repro.recovery.manager.RecoveryManager` as ``recovery`` and the
+server becomes durable and self-healing -- every batch is write-ahead
+logged before it is applied, checkpoints are taken on the manager's
+cadence, and a *poison batch* (one whose refinement raises or produces
+NaNs) is quarantined: the engine is rolled back from the last checkpoint
+plus WAL replay, the batch is durably skipped, and the loop keeps
+serving (``serving.batches_quarantined`` counts them).  Without a
+manager the server behaves exactly as before: a failing batch
+propagates to the caller.
 """
 
 from __future__ import annotations
@@ -37,6 +48,8 @@ from repro.ligra.delta import DeltaEngine
 from repro.obs import trace
 from repro.obs.registry import get_registry
 from repro.runtime.metrics import EngineMetrics
+from repro.testing import faults
+from repro.testing.faults import InjectedCrash
 
 __all__ = ["QueryResult", "StreamingAnalyticsServer"]
 
@@ -63,10 +76,33 @@ class StreamingAnalyticsServer:
         exact_iterations: Optional[int] = None,
         until_convergence: bool = False,
         max_iterations: int = 1000,
+        recovery=None,
     ) -> None:
+        algorithm = algorithm_factory()
+        self._configure(
+            algorithm_factory, algorithm,
+            approx_iterations=approx_iterations,
+            exact_iterations=exact_iterations,
+            until_convergence=until_convergence,
+            max_iterations=max_iterations,
+        )
+        self.engine = GraphBoltEngine(
+            algorithm, num_iterations=approx_iterations
+        )
+        self.engine.run(graph)
+        self.batches_ingested = 0
+        self.queries_served = 0
+        self.recovery = recovery
+        if recovery is not None:
+            # Generation zero: the WAL holds mutations, not the initial
+            # graph, so recovery always needs a base checkpoint.
+            recovery.ensure_initial_checkpoint(self.engine)
+
+    def _configure(self, algorithm_factory, algorithm, *,
+                   approx_iterations, exact_iterations,
+                   until_convergence, max_iterations) -> None:
         if approx_iterations < 1:
             raise ValueError("the main loop needs at least one iteration")
-        algorithm = algorithm_factory()
         if exact_iterations is None:
             exact_iterations = algorithm.default_iterations
         if not until_convergence and exact_iterations < approx_iterations:
@@ -78,12 +114,35 @@ class StreamingAnalyticsServer:
         self.exact_iterations = exact_iterations
         self.until_convergence = until_convergence
         self.max_iterations = max_iterations
-        self.engine = GraphBoltEngine(
-            algorithm, num_iterations=approx_iterations
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine: GraphBoltEngine,
+        algorithm_factory: Callable[[], IncrementalAlgorithm],
+        *,
+        exact_iterations: Optional[int] = None,
+        until_convergence: bool = False,
+        max_iterations: int = 1000,
+        batches_ingested: int = 0,
+        recovery=None,
+    ) -> "StreamingAnalyticsServer":
+        """Wrap an already-run engine (a recovered checkpoint) without
+        re-running the initial snapshot."""
+        engine._require_run()
+        server = cls.__new__(cls)
+        server._configure(
+            algorithm_factory, engine.algorithm,
+            approx_iterations=engine.num_iterations,
+            exact_iterations=exact_iterations,
+            until_convergence=until_convergence,
+            max_iterations=max_iterations,
         )
-        self.engine.run(graph)
-        self.batches_ingested = 0
-        self.queries_served = 0
+        server.engine = engine
+        server.batches_ingested = batches_ingested
+        server.queries_served = 0
+        server.recovery = recovery
+        return server
 
     # ------------------------------------------------------------------
     # Main loop
@@ -98,14 +157,26 @@ class StreamingAnalyticsServer:
         return self.engine.values
 
     def ingest(self, batch: MutationBatch) -> np.ndarray:
-        """Apply one mutation batch in the main loop."""
+        """Apply one mutation batch in the main loop.
+
+        With a recovery manager attached the batch is WAL-logged first
+        and a poison batch is quarantined instead of raising; without
+        one, failures propagate to the caller unchanged.
+        """
         start = time.perf_counter()
+        registry = get_registry()
         with trace.span("ingest", loop="main",
                         index=self.batches_ingested,
                         mutations=len(batch)):
-            values = self.engine.apply_mutations(batch)
+            if self.recovery is None:
+                faults.hit("engine.refine")
+                values = self.engine.apply_mutations(batch)
+            else:
+                values = self._ingest_durable(batch)
         self.batches_ingested += 1
-        registry = get_registry()
+        if self.recovery is not None:
+            self.recovery.maybe_checkpoint(self.engine,
+                                           self.batches_ingested)
         registry.histogram("serving.ingest_seconds").observe(
             time.perf_counter() - start
         )
@@ -113,6 +184,42 @@ class StreamingAnalyticsServer:
             self.batches_ingested
         )
         return values
+
+    def _ingest_durable(self, batch: MutationBatch) -> np.ndarray:
+        """Write-ahead, apply, and quarantine-on-poison."""
+        seq = self.recovery.log_batch(batch)
+        poison: Optional[str] = None
+        values: Optional[np.ndarray] = None
+        try:
+            faults.hit("engine.refine")
+            values = self.engine.apply_mutations(batch)
+        except InjectedCrash:
+            raise
+        except Exception as exc:  # noqa: BLE001 -- quarantined below
+            poison = f"{type(exc).__name__}: {exc}"
+        if poison is None:
+            poison = self.recovery.poison_check(values)
+        if poison is None:
+            return values
+        return self._quarantine(seq, poison)
+
+    def _quarantine(self, seq: int, reason: str) -> np.ndarray:
+        """Roll the engine back from checkpoint + WAL, skipping ``seq``.
+
+        ``apply_mutations`` may have mutated the graph structure before
+        failing, so the in-memory engine is untrusted; the durable state
+        (which never applied the batch's *effects*, only logged it) is
+        the rollback source.
+        """
+        self.recovery.quarantine(seq, reason)
+        with trace.span("quarantine", seq=seq, reason=reason):
+            engine, _ = self.recovery.restore_engine(
+                self.algorithm_factory
+            )
+        self.engine = engine
+        registry = get_registry()
+        registry.counter("serving.batches_quarantined").inc()
+        return self.engine.values
 
     # ------------------------------------------------------------------
     # Branch loop
@@ -139,13 +246,14 @@ class StreamingAnalyticsServer:
             )
             span.tag(iterations=state.iteration)
         self.queries_served += 1
-        get_registry().histogram("serving.query_seconds").observe(
-            time.perf_counter() - start
-        )
+        # One measurement: the recorded histogram and the reported
+        # latency must agree.
+        seconds = time.perf_counter() - start
+        get_registry().histogram("serving.query_seconds").observe(seconds)
         return QueryResult(
             values=state.values,
             iterations=state.iteration,
-            seconds=time.perf_counter() - start,
+            seconds=seconds,
             batches_ingested=self.batches_ingested,
             edge_computations=metrics.edge_computations,
         )

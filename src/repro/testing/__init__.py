@@ -14,9 +14,25 @@ discipline.  This package mechanises the check as a subsystem:
 - :mod:`repro.testing.shrinker` -- minimises a failing workload to the
   smallest graph and shortest mutation prefix that still diverge, and
   renders it as a ready-to-paste pytest test;
-- :mod:`repro.testing.fuzz` -- the ``repro fuzz`` campaign driver.
+- :mod:`repro.testing.fuzz` -- the ``repro fuzz`` campaign driver;
+- :mod:`repro.testing.faults` -- deterministic failpoints (seeded crash
+  and transient-fault injection at named sites across the serving and
+  recovery stack);
+- :mod:`repro.testing.crash` -- the ``repro fuzz --crash`` kill-and-
+  recover fuzzer.  Imported lazily (``from repro.testing import
+  crash``), *not* re-exported here: it imports the serving stack, which
+  itself imports :mod:`repro.testing.faults`.
 """
 
+from repro.testing.faults import (
+    KNOWN_SITES,
+    FailpointRegistry,
+    InjectedCrash,
+    InjectedFault,
+    get_failpoints,
+    scoped_failpoints,
+    set_failpoints,
+)
 from repro.testing.fuzz import FuzzOutcome, parse_budget, run_fuzz
 from repro.testing.oracle import (
     Divergence,
@@ -41,7 +57,11 @@ __all__ = [
     "AlgorithmProfile",
     "Divergence",
     "FUZZ_ALGORITHMS",
+    "FailpointRegistry",
     "FuzzOutcome",
+    "InjectedCrash",
+    "InjectedFault",
+    "KNOWN_SITES",
     "REFERENCE_ENGINE",
     "ShrinkResult",
     "Workload",
@@ -51,8 +71,11 @@ __all__ = [
     "check_workload",
     "compare_snapshots",
     "generate_workload",
+    "get_failpoints",
     "parse_budget",
     "run_fuzz",
+    "scoped_failpoints",
+    "set_failpoints",
     "shrink",
     "to_pytest",
 ]

@@ -1,0 +1,368 @@
+"""The crash-recovery fuzzer (``repro fuzz --crash``).
+
+Property under test: **recovery is lossless**.  For a seeded workload,
+killing the serving process at *any* failpoint and recovering from disk
+(checkpoint + WAL tail, :mod:`repro.recovery`) must leave the main
+loop's values **bit-for-bit equal** to an uninterrupted run of the same
+schedule -- the PR-1 oracle comparison with tolerance ``0.0``.
+
+Each round:
+
+1. generates a workload with the PR-1 fuzzer
+   (:func:`repro.testing.workloads.generate_workload`);
+2. runs it through a plain (non-durable) server -- the ground truth;
+3. runs it again through a durable server in a fresh state directory,
+   with an :class:`~repro.testing.faults.InjectedCrash` armed at a
+   seeded ``(site, hit)`` drawn from
+   :data:`repro.testing.faults.KNOWN_SITES`; when the "process dies"
+   the driver discards the in-memory server (and manager -- a fresh one
+   is built from disk, exactly like a restarted process) and recovers;
+4. compares final values bit-for-bit and the ingested count exactly.
+
+``deterministic_site_sweep`` runs one fixed workload across *every*
+registered site -- the acceptance gate used by
+``tests/recovery/test_crash_equivalence.py``.
+
+A mismatch writes the state directory plus a replay script into
+``artifacts_dir`` so CI can upload the WAL and the repro.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.registry import get_registry, scoped_registry
+from repro.recovery.manager import RecoveryManager
+from repro.serving.server import StreamingAnalyticsServer
+from repro.testing import faults
+from repro.testing.faults import InjectedCrash, scoped_failpoints
+from repro.testing.oracle import compare_snapshots
+from repro.testing.workloads import Workload, generate_workload
+
+__all__ = [
+    "CrashFuzzOutcome",
+    "CrashRound",
+    "crash_recovery_equivalence",
+    "deterministic_site_sweep",
+    "run_crash_fuzz",
+    "run_plant_fault",
+]
+
+#: Main-loop window for fuzz servers; small keeps refinement histories
+#: (and therefore rounds) cheap while still exercising multi-iteration
+#: dependency state.
+APPROX_ITERATIONS = 3
+
+#: Sites whose hit budget scales with the schedule length (they fire
+#: once per ingested batch) versus rare sites.
+_PER_BATCH_SITES = ("wal.append", "wal.append.torn", "engine.refine")
+
+
+@dataclass
+class CrashRound:
+    """One seeded kill-and-recover scenario."""
+
+    seed: int
+    workload: str
+    site: str
+    hit: int
+    crashes: int = 0
+    fired: bool = False
+    equivalent: bool = False
+    detail: str = ""
+    batches: int = 0
+    quarantined: int = 0
+    torn_truncated: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.equivalent
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"MISMATCH ({self.detail})"
+        fired = (f"crashed x{self.crashes}" if self.crashes
+                 else "failpoint never reached")
+        return (
+            f"seed={self.seed} kill@{self.site}#{self.hit} "
+            f"[{fired}, torn={self.torn_truncated}] {status}"
+        )
+
+
+@dataclass
+class CrashFuzzOutcome:
+    """Summary of one crash-fuzzing campaign."""
+
+    rounds: List[CrashRound] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    artifacts: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(round_.ok for round_ in self.rounds)
+
+    @property
+    def crashes_injected(self) -> int:
+        return sum(round_.crashes for round_ in self.rounds)
+
+
+def _uninterrupted_values(workload: Workload) -> np.ndarray:
+    """Ground truth: the same schedule with no durability layer at all."""
+    profile = workload.profile
+    server = StreamingAnalyticsServer(
+        profile.factory, workload.build_graph(),
+        approx_iterations=APPROX_ITERATIONS,
+    )
+    for batch in workload.schedule:
+        server.ingest(batch)
+    return np.asarray(server.approximate_values, dtype=np.float64).copy()
+
+
+def crash_recovery_equivalence(
+    workload: Workload,
+    site: str,
+    hit: int,
+    state_dir: str,
+    checkpoint_every: int = 2,
+    segment_records: int = 4,
+) -> CrashRound:
+    """Kill at ``(site, hit)``, recover, and compare bit-for-bit.
+
+    The driver plays the operating system: an
+    :class:`InjectedCrash` discards the live server object, and the
+    next loop iteration rebuilds a manager *from disk only* -- the
+    moral equivalent of restarting the process.  ``recover.replay``
+    only executes during recovery, so arming it also arms a first
+    ``engine.refine`` crash to get a recovery going.
+    """
+    profile = workload.profile
+    expected = _uninterrupted_values(workload)
+    round_ = CrashRound(
+        seed=workload.seed, workload=workload.describe(),
+        site=site, hit=hit, batches=len(workload.schedule),
+    )
+
+    def attach() -> StreamingAnalyticsServer:
+        manager = RecoveryManager(
+            state_dir, checkpoint_every=checkpoint_every,
+            retain=2, segment_records=segment_records,
+        )
+        if manager.checkpoints():
+            return manager.recover(profile.factory)
+        return StreamingAnalyticsServer(
+            profile.factory, workload.build_graph(),
+            approx_iterations=APPROX_ITERATIONS, recovery=manager,
+        )
+
+    with scoped_failpoints() as registry:
+        registry.arm(site, kind="crash", hit=hit)
+        if site == "recover.replay":
+            registry.arm("engine.refine", kind="crash", hit=1)
+        server: Optional[StreamingAnalyticsServer] = None
+        index = 0
+        while server is None or index < len(workload.schedule):
+            if server is None:
+                try:
+                    server = attach()
+                except InjectedCrash:
+                    round_.crashes += 1
+                    continue
+                index = server.batches_ingested
+                continue
+            try:
+                server.ingest(workload.schedule[index])
+                index = server.batches_ingested
+            except InjectedCrash:
+                round_.crashes += 1
+                server.recovery.close()
+                server = None
+        round_.fired = bool(registry.fired)
+        round_.quarantined = len(server.recovery.quarantined)
+        round_.torn_truncated = server.recovery.wal.torn_records_truncated
+        actual = np.asarray(server.approximate_values, dtype=np.float64)
+        server.recovery.close()
+
+    verdict = compare_snapshots(actual, expected, tolerance=0.0)
+    if verdict is not None:
+        kind, detail, _ = verdict
+        round_.detail = f"{kind}: {detail}"
+    elif server.batches_ingested != len(workload.schedule):
+        round_.detail = (
+            f"ingested {server.batches_ingested} of "
+            f"{len(workload.schedule)} batches"
+        )
+    elif round_.quarantined:
+        round_.detail = (
+            f"{round_.quarantined} batch(es) quarantined on a "
+            f"healthy workload"
+        )
+    else:
+        round_.equivalent = True
+    return round_
+
+
+def _choose_site_and_hit(rng: np.random.Generator,
+                         schedule_len: int) -> tuple:
+    site = str(rng.choice(list(faults.KNOWN_SITES)))
+    budget = schedule_len if site in _PER_BATCH_SITES else 2
+    hit = int(rng.integers(1, max(budget, 1) + 1))
+    return site, hit
+
+
+def _write_repro(artifacts_dir: str, round_: CrashRound,
+                 args_hint: str) -> str:
+    path = os.path.join(artifacts_dir, f"repro-seed{round_.seed}.txt")
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(
+            "crash-recovery mismatch\n"
+            f"workload: {round_.workload}\n"
+            f"kill site: {round_.site} (hit {round_.hit})\n"
+            f"crashes injected: {round_.crashes}\n"
+            f"detail: {round_.detail}\n\n"
+            "replay with:\n"
+            f"  PYTHONPATH=src python -m repro fuzz --crash {args_hint}\n\n"
+            "or in pytest:\n"
+            "  from repro.testing.crash import "
+            "crash_recovery_equivalence\n"
+            "  from repro.testing.workloads import generate_workload\n"
+            f"  w = generate_workload({round_.seed})\n"
+            f"  r = crash_recovery_equivalence(w, {round_.site!r}, "
+            f"{round_.hit}, tmp_path)\n"
+            "  assert r.ok, r.summary()\n"
+        )
+    return path
+
+
+def run_crash_fuzz(
+    seed: int = 0,
+    rounds: int = 8,
+    algorithms: Optional[Sequence[str]] = None,
+    max_vertices: int = 32,
+    max_batches: int = 6,
+    checkpoint_every: int = 2,
+    artifacts_dir: Optional[str] = None,
+    emit: Callable[[str], None] = print,
+) -> CrashFuzzOutcome:
+    """A seeded campaign of kill-and-recover rounds; see module doc."""
+    outcome = CrashFuzzOutcome()
+    start = time.perf_counter()
+    for index in range(rounds):
+        round_seed = seed + index
+        workload = generate_workload(
+            round_seed, algorithms=algorithms,
+            max_vertices=max_vertices, max_batches=max_batches,
+        )
+        rng = np.random.default_rng((round_seed, 0xC4A5))
+        site, hit = _choose_site_and_hit(rng, len(workload.schedule))
+        state_dir = tempfile.mkdtemp(prefix=f"crash-fuzz-{round_seed}-")
+        round_ = crash_recovery_equivalence(
+            workload, site, hit, state_dir,
+            checkpoint_every=checkpoint_every,
+        )
+        outcome.rounds.append(round_)
+        emit(f"[{index + 1}/{rounds}] {round_.summary()}")
+        if round_.ok:
+            shutil.rmtree(state_dir, ignore_errors=True)
+        elif artifacts_dir is not None:
+            os.makedirs(artifacts_dir, exist_ok=True)
+            kept = os.path.join(artifacts_dir,
+                                f"state-seed{round_seed}")
+            shutil.move(state_dir, kept)
+            hint = (f"--seed {round_seed} --rounds 1 "
+                    f"--checkpoint-every {checkpoint_every}")
+            repro = _write_repro(artifacts_dir, round_, hint)
+            outcome.artifacts.extend([kept, repro])
+            emit(f"    WAL + state kept -> {kept}")
+            emit(f"    repro -> {repro}")
+        else:
+            shutil.rmtree(state_dir, ignore_errors=True)
+    outcome.elapsed_seconds = time.perf_counter() - start
+    emit(
+        f"crash fuzz: {len(outcome.rounds)} round(s), "
+        f"{outcome.crashes_injected} crash(es) injected, "
+        f"{sum(1 for r in outcome.rounds if not r.ok)} mismatch(es), "
+        f"{outcome.elapsed_seconds:.1f}s"
+    )
+    return outcome
+
+
+def _workload_with_batches(seed: int, minimum: int) -> Workload:
+    """First seeded workload with a schedule long enough that every
+    site's chosen hit count is actually reachable."""
+    for offset in range(64):
+        workload = generate_workload(seed + offset,
+                                     algorithms=["pagerank"],
+                                     max_vertices=24, max_batches=6)
+        if len(workload.schedule) >= minimum:
+            return workload
+    raise RuntimeError("no seeded workload with a long enough schedule")
+
+
+def deterministic_site_sweep(
+    seed: int = 7,
+    state_root: Optional[str] = None,
+    emit: Callable[[str], None] = lambda _: None,
+) -> List[CrashRound]:
+    """One fixed workload, killed once at *every* registered site.
+
+    The acceptance gate: every entry must come back ``ok``.
+    """
+    workload = _workload_with_batches(seed, minimum=3)
+    root = state_root or tempfile.mkdtemp(prefix="crash-sweep-")
+    results = []
+    for site in faults.KNOWN_SITES:
+        hit = 2 if site in _PER_BATCH_SITES else 1
+        state_dir = os.path.join(root, site.replace(".", "_"))
+        round_ = crash_recovery_equivalence(workload, site, hit,
+                                            state_dir,
+                                            checkpoint_every=2)
+        results.append(round_)
+        emit(round_.summary())
+        if round_.ok:
+            shutil.rmtree(state_dir, ignore_errors=True)
+    return results
+
+
+def run_plant_fault(seed: int = 0,
+                    emit: Callable[[str], None] = print) -> bool:
+    """Self-test: prove the failpoint registry actually fires.
+
+    Arms a *transient* fault at ``wal.append`` and succeeds only if
+    (a) the registry reports the firing, (b) the manager's bounded
+    retry absorbed it (``recovery.retries`` advanced), and (c) the
+    stream still completed every batch.  A harness whose failpoints are
+    dead code would fail (a); one without retry would crash at (c).
+    """
+    workload = _workload_with_batches(seed, minimum=2)
+    state_dir = tempfile.mkdtemp(prefix="plant-fault-")
+    try:
+        with scoped_registry() as metrics, scoped_failpoints() as registry:
+            registry.arm("wal.append", kind="fault", hit=1)
+            manager = RecoveryManager(state_dir, checkpoint_every=2,
+                                      retain=2)
+            server = StreamingAnalyticsServer(
+                workload.profile.factory, workload.build_graph(),
+                approx_iterations=APPROX_ITERATIONS, recovery=manager,
+            )
+            for batch in workload.schedule:
+                server.ingest(batch)
+            manager.close()
+            fired = "wal.append" in registry.fired_sites()
+            retried = metrics.counter("recovery.retries").value > 0
+            completed = server.batches_ingested == len(workload.schedule)
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+    if fired and retried and completed:
+        emit("plant-a-fault: wal.append fired, retry absorbed it, "
+             "stream completed -- failpoints are live")
+        return True
+    emit(f"plant-a-fault: FAILED (fired={fired}, retried={retried}, "
+         f"completed={completed}) -- the failpoint registry is not "
+         f"wired into the serving stack")
+    return False

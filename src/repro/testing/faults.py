@@ -1,0 +1,209 @@
+"""Deterministic failpoints for fault injection.
+
+A *failpoint* is a named site in production code -- ``wal.append``,
+``checkpoint.write``, ``engine.refine`` -- that calls :func:`hit` on
+every pass.  By default that call is a counter bump and nothing more.
+A test (or the ``repro fuzz --crash`` fuzzer) *arms* a site on the
+installed :class:`FailpointRegistry` with a plan: on the Nth hit, raise
+either
+
+- :class:`InjectedFault` -- a transient I/O error.  It derives from
+  ``OSError`` so the bounded retry-with-backoff in
+  :class:`repro.recovery.manager.RecoveryManager` absorbs it exactly
+  like a real filesystem hiccup; or
+- :class:`InjectedCrash` -- simulated process death.  It derives from
+  ``BaseException`` (not ``Exception``) so no recovery/quarantine
+  handler can accidentally swallow it: only the test driver that
+  "killed" the process catches it, then recovers from disk the way a
+  restarted process would.
+
+Because firing is keyed on an exact hit count and nothing else, a
+``(site, hit)`` pair replays deterministically: the same seeded
+workload crashes at the same instruction every time, which is what lets
+the crash fuzzer assert bit-for-bit recovery equivalence.
+
+The registry is process-wide (:func:`get_failpoints`); tests install a
+fresh one with :func:`scoped_failpoints` so plans never leak between
+cases.  Sites must come from :data:`KNOWN_SITES` -- arming a typo'd
+name would silently never fire, so it is rejected up front.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "FailpointRegistry",
+    "FiredFailpoint",
+    "InjectedCrash",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "get_failpoints",
+    "hit",
+    "scoped_failpoints",
+    "set_failpoints",
+]
+
+#: Every instrumented site in the codebase.  The crash fuzzer draws its
+#: kill sites from this tuple, and the recovery test suite proves
+#: checkpoint+WAL equivalence for each one.
+#:
+#: ``wal.append``        before a WAL record reaches the stream (the
+#:                       record is lost entirely);
+#: ``wal.append.torn``   mid-write: half the record's bytes land on disk
+#:                       before the "process dies" (a torn tail);
+#: ``checkpoint.write``  before the checkpoint temp file is written;
+#: ``checkpoint.replace`` after the temp file is complete but before the
+#:                       atomic ``os.replace`` publishes it;
+#: ``engine.refine``     before dependency-driven refinement of an
+#:                       ingested batch (WAL has the record, the engine
+#:                       never applied it);
+#: ``recover.replay``    before a WAL record is re-applied during
+#:                       recovery (a crash *during* recovery).
+KNOWN_SITES = (
+    "wal.append",
+    "wal.append.torn",
+    "checkpoint.write",
+    "checkpoint.replace",
+    "engine.refine",
+    "recover.replay",
+)
+
+_KINDS = ("crash", "fault")
+
+
+class InjectedFault(OSError):
+    """A transient injected I/O fault (retryable, like a real ``OSError``)."""
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at a failpoint.
+
+    Deliberately a ``BaseException``: quarantine and retry handlers
+    catch ``Exception``/``OSError``, so a simulated kill tears through
+    them the way ``SIGKILL`` tears through a real process.
+    """
+
+    def __init__(self, site: str, hit_number: int) -> None:
+        super().__init__(f"injected crash at {site} (hit {hit_number})")
+        self.site = site
+        self.hit_number = hit_number
+
+
+@dataclass(frozen=True)
+class FiredFailpoint:
+    """One firing, recorded for post-mortem assertions."""
+
+    site: str
+    kind: str
+    hit_number: int
+
+
+@dataclass
+class _Plan:
+    kind: str
+    hit: int
+    once: bool = True
+
+
+@dataclass
+class FailpointRegistry:
+    """Armed plans plus per-site hit counters."""
+
+    _plans: Dict[str, _Plan] = field(default_factory=dict)
+    hits: Dict[str, int] = field(default_factory=dict)
+    fired: List[FiredFailpoint] = field(default_factory=list)
+
+    def arm(self, site: str, kind: str = "crash", hit: int = 1,
+            once: bool = True) -> None:
+        """Arm ``site`` to raise on its ``hit``-th future-or-past hit.
+
+        ``hit`` counts from the site's current total (sites hit before
+        arming still count), so arm before driving the workload.
+        ``once`` disarms after the first firing -- the recovered process
+        does not crash again, which is what the crash fuzzer wants.
+        """
+        if site not in KNOWN_SITES:
+            raise ValueError(
+                f"unknown failpoint site {site!r} "
+                f"(choose from {list(KNOWN_SITES)})"
+            )
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        if hit < 1:
+            raise ValueError("hit is 1-based and must be >= 1")
+        self._plans[site] = _Plan(kind=kind, hit=hit, once=once)
+
+    def disarm(self, site: str) -> None:
+        self._plans.pop(site, None)
+
+    def armed(self, site: str) -> bool:
+        return site in self._plans
+
+    def armed_sites(self) -> List[str]:
+        return sorted(self._plans)
+
+    def hit_count(self, site: str) -> int:
+        return self.hits.get(site, 0)
+
+    def fired_sites(self) -> List[str]:
+        return [record.site for record in self.fired]
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits.clear()
+        self.fired.clear()
+
+    def hit(self, site: str) -> None:
+        """Record one pass through ``site``; raise if a plan says so."""
+        count = self.hits.get(site, 0) + 1
+        self.hits[site] = count
+        plan = self._plans.get(site)
+        if plan is None or count < plan.hit:
+            return
+        if plan.once:
+            del self._plans[site]
+        elif count > plan.hit:
+            return
+        self.fired.append(FiredFailpoint(site=site, kind=plan.kind,
+                                         hit_number=count))
+        if plan.kind == "crash":
+            raise InjectedCrash(site, count)
+        raise InjectedFault(f"injected transient fault at {site} "
+                            f"(hit {count})")
+
+
+# ----------------------------------------------------------------------
+# The process-wide registry
+# ----------------------------------------------------------------------
+_FAILPOINTS = FailpointRegistry()
+
+
+def get_failpoints() -> FailpointRegistry:
+    return _FAILPOINTS
+
+
+def set_failpoints(registry: FailpointRegistry) -> FailpointRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _FAILPOINTS
+    previous = _FAILPOINTS
+    _FAILPOINTS = registry
+    return previous
+
+
+@contextmanager
+def scoped_failpoints(registry: Optional[FailpointRegistry] = None):
+    """Install a fresh (or given) registry for a ``with`` block."""
+    registry = registry if registry is not None else FailpointRegistry()
+    previous = set_failpoints(registry)
+    try:
+        yield registry
+    finally:
+        set_failpoints(previous)
+
+
+def hit(site: str) -> None:
+    """The instrumentation call production code places at each site."""
+    _FAILPOINTS.hit(site)

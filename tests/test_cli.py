@@ -188,6 +188,54 @@ class TestObservabilityCommands:
         assert read_journal(path, record_type="span")
 
 
+class TestRecoveryCommands:
+    SERVE = ["serve", "rmat:6:4", "--batches", "3", "--batch-size", "8",
+             "--iterations", "3"]
+
+    def test_serve_ephemeral(self, capsys):
+        assert main(self.SERVE) == 0
+        out = capsys.readouterr().out
+        assert "serve pagerank" in out and "durable" not in out
+
+    def test_serve_recover_roundtrip(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(self.SERVE + ["--wal", state,
+                                  "--checkpoint-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "WAL-logged" in out and "checkpoint generation" in out
+        assert main(["recover", state]) == 0
+        out = capsys.readouterr().out
+        assert "3 batch(es) replayed into a live server" in out
+
+    def test_recover_verify_is_bit_for_bit(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(self.SERVE + ["--wal", state,
+                                  "--checkpoint-every", "2"]) == 0
+        capsys.readouterr()
+        assert main(["recover", state, "--verify"]) == 0
+        assert "bit-for-bit" in capsys.readouterr().out
+
+    def test_recover_without_manifest_fails_loudly(self, tmp_path):
+        from repro.recovery import RecoveryError
+
+        with pytest.raises(RecoveryError, match="manifest"):
+            main(["recover", str(tmp_path / "nothing-here")])
+
+    def test_crash_fuzz_clean_campaign(self, capsys):
+        code = main(["fuzz", "--crash", "--rounds", "2", "--seed", "0",
+                     "--max-vertices", "24", "--max-batches", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crash fuzz" in out and "0 mismatch(es)" in out
+
+    def test_plant_fault_self_test(self, capsys):
+        assert main(["fuzz", "--crash", "--plant-fault"]) == 0
+        assert "failpoints are live" in capsys.readouterr().out
+
+    def test_plant_fault_requires_crash(self, capsys):
+        assert main(["fuzz", "--plant-fault"]) == 2
+
+
 class TestBenchSubcommand:
     def test_bench_delegates(self, capsys, monkeypatch, tmp_path):
         from repro.bench import experiments as exp
