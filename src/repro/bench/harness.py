@@ -35,6 +35,11 @@ from repro.graph.mutation import MutationBatch
 from repro.ligra.delta import DeltaEngine
 from repro.ligra.engine import LigraEngine
 from repro.obs.registry import get_registry, ingest_engine_metrics
+from repro.runtime.exec import (
+    ExecutionBackend,
+    load_imbalance,
+    resolve_backend,
+)
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = [
@@ -57,10 +62,12 @@ class StreamingRunner:
 
     def __init__(self, algorithm_factory: AlgorithmFactory,
                  num_iterations: Optional[int] = None,
-                 until_convergence: bool = False) -> None:
+                 until_convergence: bool = False,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.algorithm_factory = algorithm_factory
         self.num_iterations = num_iterations
         self.until_convergence = until_convergence
+        self.backend = resolve_backend(backend)
         self.metrics = EngineMetrics()
 
     def setup(self, graph: CSRGraph) -> np.ndarray:
@@ -100,7 +107,8 @@ class LigraRunner(_RestartRunner):
     name = "Ligra"
 
     def _run_snapshot(self) -> np.ndarray:
-        engine = LigraEngine(self.algorithm_factory(), self.metrics)
+        engine = LigraEngine(self.algorithm_factory(), self.metrics,
+                             backend=self.backend)
         return engine.run(
             self._streaming.graph,
             num_iterations=self.num_iterations,
@@ -114,7 +122,8 @@ class DeltaRunner(_RestartRunner):
     name = "GB-Reset"
 
     def _run_snapshot(self) -> np.ndarray:
-        engine = DeltaEngine(self.algorithm_factory(), self.metrics)
+        engine = DeltaEngine(self.algorithm_factory(), self.metrics,
+                             backend=self.backend)
         return engine.run(
             self._streaming.graph,
             num_iterations=self.num_iterations,
@@ -131,9 +140,10 @@ class GraphBoltRunner(StreamingRunner):
                  num_iterations: Optional[int] = None,
                  until_convergence: bool = False,
                  pruning: Optional[PruningPolicy] = None,
-                 mode: str = "delta") -> None:
+                 mode: str = "delta",
+                 backend: Optional[ExecutionBackend] = None) -> None:
         super().__init__(algorithm_factory, num_iterations,
-                         until_convergence)
+                         until_convergence, backend)
         self.pruning = pruning
         self.mode = mode
         if mode == "retract_propagate":
@@ -148,6 +158,7 @@ class GraphBoltRunner(StreamingRunner):
             pruning=self.pruning,
             mode=self.mode,
             metrics=self.metrics,
+            backend=self.backend,
         )
         return self.engine.run(graph)
 
@@ -252,4 +263,7 @@ def run_stream(runner: StreamingRunner, graph: CSRGraph,
     result.final_metrics = runner.metrics.snapshot()
     ingest_engine_metrics(result.final_metrics, runner.name,
                           registry=registry)
+    registry.gauge(f"{runner.name}.shard_imbalance").set(
+        load_imbalance(result.final_metrics.shard_loads)
+    )
     return result

@@ -40,6 +40,11 @@ from repro.graph.mutation import MutationBatch
 from repro.ligra.delta import DeltaEngine, DeltaState
 from repro.obs import trace
 from repro.obs.registry import get_registry
+from repro.runtime.exec import (
+    ExecutionBackend,
+    load_imbalance,
+    resolve_backend,
+)
 from repro.runtime.metrics import EngineMetrics, MemoryReport, Timer
 
 __all__ = ["GraphBoltEngine"]
@@ -62,6 +67,7 @@ class GraphBoltEngine:
         metrics: Optional[EngineMetrics] = None,
         dense_refine_fraction: Optional[float] = None,
         streaming_factory=StreamingGraph,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         if strategy not in ("refine", "naive"):
             raise ValueError("strategy must be 'refine' or 'naive'")
@@ -85,7 +91,9 @@ class GraphBoltEngine:
         #: :class:`repro.graph.dynamic.DynamicStreamingGraph` for
         #: STINGER-style in-place structure adjustment.
         self.streaming_factory = streaming_factory
-        self._delta = DeltaEngine(algorithm, self.metrics, mode=mode)
+        self.backend = resolve_backend(backend)
+        self._delta = DeltaEngine(algorithm, self.metrics, mode=mode,
+                                  backend=self.backend)
         self._streaming: Optional[StreamingGraph] = None
         self._history: Optional[DependencyHistory] = None
         self._state: Optional[DeltaState] = None
@@ -229,6 +237,7 @@ class GraphBoltEngine:
             self.algorithm, mutation, self._history, self.metrics,
             self.pruning, mode=self._delta.mode,
             dense_fraction=self.dense_refine_fraction,
+            backend=self.backend,
         )
         state = hybrid_forward(
             self._delta, graph, state,
@@ -254,6 +263,9 @@ class GraphBoltEngine:
         )
         registry.gauge("graphbolt.dependency_bytes").set(
             self._history.nbytes
+        )
+        registry.gauge("graphbolt.shard_imbalance").set(
+            load_imbalance(self.metrics.shard_loads)
         )
 
     def _naive_continue(self, graph: CSRGraph) -> DeltaState:

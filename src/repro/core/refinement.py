@@ -30,7 +30,7 @@ which hybrid execution continues forward.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from repro.core.pruning import PruningPolicy
 from repro.graph.mutable import MutationResult
 from repro.ligra.delta import DeltaState
 from repro.obs import trace
+from repro.runtime.exec import ExecutionBackend, resolve_backend
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["refine"]
@@ -64,6 +65,7 @@ def refine(
     pruning: PruningPolicy,
     mode: str = "delta",
     dense_fraction: float = DENSE_REFINE_FRACTION,
+    backend: Optional[ExecutionBackend] = None,
 ) -> Tuple[DeltaState, DependencyHistory]:
     """Refine tracked values for one mutation; see module docstring.
 
@@ -76,12 +78,12 @@ def refine(
                     deletions=int(mutation.del_src.size)), \
             Timer(metrics, "refine"):
         return _Refiner(algorithm, mutation, history, metrics,
-                        pruning, mode, dense_fraction).run()
+                        pruning, mode, dense_fraction, backend).run()
 
 
 class _Refiner:
     def __init__(self, algorithm, mutation, history, metrics, pruning, mode,
-                 dense_fraction=DENSE_REFINE_FRACTION):
+                 dense_fraction=DENSE_REFINE_FRACTION, backend=None):
         self.algorithm = algorithm
         self.mutation = mutation
         self.history = history
@@ -89,6 +91,7 @@ class _Refiner:
         self.pruning = pruning
         self.mode = mode
         self.dense_fraction = dense_fraction
+        self.backend = resolve_backend(backend)
         self.new_graph = mutation.new_graph
         self.old_graph = mutation.old_graph
 
@@ -164,7 +167,8 @@ class _Refiner:
 
                 c_new = self.old_roll.c.copy()
                 if touched.size:
-                    self.metrics.count_vertices(touched.size)
+                    self.backend.count_vertices(self.new_graph, touched,
+                                                self.metrics)
                     previous = (
                         c_before[touched] if algorithm.uses_previous_value
                         else None
@@ -220,13 +224,14 @@ class _Refiner:
         """
         algorithm = self.algorithm
         g_new = algorithm.identity_aggregate(self.new_graph.num_vertices)
-        src, dst, weight = self.new_graph.all_edges()
-        self.metrics.count_edges(src.size)
+        src, dst, weight = self.backend.gather_all(self.new_graph,
+                                                   self.metrics)
         if src.size:
             contribs = algorithm.contributions(
                 self.new_graph, c_prev[src], src, dst, weight
             )
-            algorithm.aggregation.scatter(g_new, dst, contribs)
+            self.backend.scatter(self.new_graph, algorithm.aggregation,
+                                 g_new, dst, contribs, self.metrics)
         return g_new, None
 
     def _refine_decomposable(self, sources, c_prev):
@@ -244,10 +249,13 @@ class _Refiner:
                 c_prev[mutation.add_src],
                 mutation.add_src, mutation.add_dst, mutation.add_weight,
             )
-            agg.scatter(g_new, mutation.add_dst, contribs)
+            self.backend.scatter(self.new_graph, agg, g_new,
+                                 mutation.add_dst, contribs, self.metrics)
 
         # ⋃– : old contributions leaving over deleted edges, reproduced
         # on the fly from the old run's values and the old snapshot.
+        # Destinations live in the new snapshot's vertex space, so the
+        # retract is sharded against the new graph's partition.
         if mutation.del_src.size:
             self.metrics.count_edges(mutation.del_src.size)
             contribs = algorithm.contributions(
@@ -255,7 +263,9 @@ class _Refiner:
                 self.old_roll.c_prev[mutation.del_src],
                 mutation.del_src, mutation.del_dst, mutation.del_weight,
             )
-            agg.scatter_retract(g_new, mutation.del_dst, contribs)
+            self.backend.scatter_retract(self.new_graph, agg, g_new,
+                                         mutation.del_dst, contribs,
+                                         self.metrics)
 
         # ⋃△ : retained out-edges of changed sources swap old for new.
         dsts = np.empty(0, dtype=np.int64)
@@ -275,11 +285,18 @@ class _Refiner:
                     self.new_graph, c_prev[src_rep], src_rep, dsts, weights,
                 )
                 if self.mode == "delta":
-                    agg.scatter_delta(g_new, dsts, new_contribs, old_contribs)
+                    self.backend.scatter_delta(
+                        self.new_graph, agg, g_new, dsts,
+                        new_contribs, old_contribs, self.metrics,
+                    )
                 else:
-                    agg.scatter_retract(g_new, dsts, old_contribs)
+                    self.backend.scatter_retract(
+                        self.new_graph, agg, g_new, dsts, old_contribs,
+                        self.metrics,
+                    )
                     self.metrics.count_edges(src_rep.size)
-                    agg.scatter(g_new, dsts, new_contribs)
+                    self.backend.scatter(self.new_graph, agg, g_new, dsts,
+                                         new_contribs, self.metrics)
 
         touched = np.unique(
             np.concatenate([mutation.add_dst, mutation.del_dst, dsts])
@@ -301,13 +318,15 @@ class _Refiner:
         )
         if touched.size:
             g_new[touched] = algorithm.aggregation.identity_value()
-            in_src, in_dst, in_weight = self.new_graph.in_edges_of(touched)
-            self.metrics.count_edges(in_src.size)
+            in_src, in_dst, in_weight = self.backend.gather_in(
+                self.new_graph, touched, self.metrics
+            )
             if in_src.size:
                 contribs = algorithm.contributions(
                     self.new_graph, c_prev[in_src], in_src, in_dst, in_weight
                 )
-                algorithm.aggregation.scatter(g_new, in_dst, contribs)
+                self.backend.scatter(self.new_graph, algorithm.aggregation,
+                                     g_new, in_dst, contribs, self.metrics)
         return g_new, touched
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.dataflow.operators import Dataflow
 from repro.graph.csr import CSRGraph
 from repro.graph.mutable import StreamingGraph
 from repro.graph.mutation import MutationBatch
+from repro.runtime.exec import ExecutionBackend, resolve_backend
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["DifferentialConnectedComponents", "DifferentialPageRank",
@@ -41,8 +42,10 @@ class _DifferentialGraphProgram:
     """Shared streaming-graph plumbing for dataflow graph programs."""
 
     def __init__(self, graph: CSRGraph,
-                 metrics: Optional[EngineMetrics] = None) -> None:
+                 metrics: Optional[EngineMetrics] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.metrics = metrics if metrics is not None else EngineMetrics()
+        self.backend = resolve_backend(backend)
         self._streaming = StreamingGraph(graph)
         self.dataflow = Dataflow()
         self._edges_in = self.dataflow.input()
@@ -51,7 +54,11 @@ class _DifferentialGraphProgram:
             self._edges_in.stream, self._vertices_in.stream
         )
         with Timer(self.metrics, "initial_run"):
-            src, dst, weight = graph.all_edges()
+            # Structural feed (never charged as edge computations); the
+            # sharded backend still measures per-shard feed loads.
+            src, dst, weight = self.backend.gather_all(
+                graph, self.metrics, count=False
+            )
             self._edges_in.send_records(
                 (int(u), (int(v), float(w)))
                 for u, v, w in zip(src, dst, weight)
@@ -104,10 +111,11 @@ class DifferentialPageRank(_DifferentialGraphProgram):
 
     def __init__(self, graph: CSRGraph, num_iterations: int = 10,
                  damping: float = 0.85,
-                 metrics: Optional[EngineMetrics] = None) -> None:
+                 metrics: Optional[EngineMetrics] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.num_iterations = num_iterations
         self.damping = damping
-        super().__init__(graph, metrics)
+        super().__init__(graph, metrics, backend)
 
     def _build(self, edges, vertices):
         damping = self.damping
@@ -149,9 +157,10 @@ class DifferentialConnectedComponents(_DifferentialGraphProgram):
     name = "DifferentialDataflow-WCC"
 
     def __init__(self, graph: CSRGraph, num_stages: int = 24,
-                 metrics: Optional[EngineMetrics] = None) -> None:
+                 metrics: Optional[EngineMetrics] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.num_stages = num_stages
-        super().__init__(graph, metrics)
+        super().__init__(graph, metrics, backend)
 
     def _build(self, edges, vertices):
         # Symmetrise so label flow matches weak connectivity.
@@ -184,10 +193,11 @@ class DifferentialSSSP(_DifferentialGraphProgram):
 
     def __init__(self, graph: CSRGraph, source: int = 0,
                  num_stages: int = 24,
-                 metrics: Optional[EngineMetrics] = None) -> None:
+                 metrics: Optional[EngineMetrics] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.source = source
         self.num_stages = num_stages
-        super().__init__(graph, metrics)
+        super().__init__(graph, metrics, backend)
 
     def _build(self, edges, vertices):
         source = self.source

@@ -177,6 +177,20 @@ class CSRGraph:
             np.arange(self._num_vertices, dtype=np.int64), self.in_degrees()
         )
 
+    def edge_keys(self) -> np.ndarray:
+        """Scalar key ``src * V + dst`` per edge in CSR order (cached).
+
+        The CSR lexsort by ``(src, dst)`` makes this array globally
+        sorted, so edge membership/position queries are a single
+        ``searchsorted`` over it (see
+        :meth:`repro.graph.mutable.StreamingGraph._edge_positions`).
+        """
+        if not hasattr(self, "_edge_keys"):
+            src, dst, _ = self.all_edges()
+            stride = np.int64(max(self._num_vertices, 1))
+            self._edge_keys = src * stride + dst
+        return self._edge_keys
+
     # ------------------------------------------------------------------
     # Neighbourhood access
     # ------------------------------------------------------------------
@@ -274,7 +288,16 @@ class CSRGraph:
         if num_vertices == self._num_vertices:
             return self
         src, dst, weight = self.all_edges()
-        return CSRGraph(num_vertices, src, dst, weight)
+        grown = CSRGraph(num_vertices, src, dst, weight)
+        cache = getattr(self, "_shard_cache", None)
+        if cache:
+            # Growth extends the last shard of every cached partition
+            # (deterministic ownership; see PartitionedCSR.extended_to).
+            grown._shard_cache = {
+                shards: partition.extended_to(num_vertices)
+                for shards, partition in cache.items()
+            }
+        return grown
 
     @classmethod
     def from_edges(

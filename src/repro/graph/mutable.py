@@ -171,18 +171,34 @@ class StreamingGraph:
     def _edge_positions(
         graph: CSRGraph, src: np.ndarray, dst: np.ndarray
     ) -> np.ndarray:
-        """CSR slot of each (src, dst) pair, or -1 where the edge is absent."""
+        """CSR slot of each (src, dst) pair, or -1 where the edge is absent.
+
+        One batched ``searchsorted`` over the graph's sorted scalar edge
+        keys (``src * V + dst``) replaces the per-edge binary-search
+        loop.  Pairs with either endpoint outside the vertex range are
+        reported absent up front -- an out-of-range ``dst`` would
+        otherwise collide with the key of a different in-range pair.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
         positions = np.full(src.size, -1, dtype=np.int64)
-        offsets = graph.out_offsets
-        targets = graph.out_targets
-        for i in range(src.size):
-            u = src[i]
-            if u >= graph.num_vertices:
-                continue
-            lo, hi = offsets[u], offsets[u + 1]
-            j = lo + np.searchsorted(targets[lo:hi], dst[i])
-            if j < hi and targets[j] == dst[i]:
-                positions[i] = j
+        if src.size == 0 or graph.num_edges == 0:
+            return positions
+        num_vertices = graph.num_vertices
+        valid = (
+            (src >= 0) & (src < num_vertices)
+            & (dst >= 0) & (dst < num_vertices)
+        )
+        if not valid.any():
+            return positions
+        keys = graph.edge_keys()
+        stride = np.int64(max(num_vertices, 1))
+        probe = src[valid] * stride + dst[valid]
+        slots = np.searchsorted(keys, probe)
+        # A probe beyond every key clips to the last slot, which then
+        # fails the equality check (probe > keys[-1] by construction).
+        found = keys[np.minimum(slots, keys.size - 1)] == probe
+        positions[valid] = np.where(found, slots, -1)
         return positions
 
     def _resolve_deletions(self, old, del_src, del_dst):

@@ -30,6 +30,7 @@ from repro.graph.mutation import MutationBatch
 from repro.kickstarter.trees import NO_PARENT, DependencyTree, segmented_argmin
 from repro.obs import trace
 from repro.obs.registry import get_registry
+from repro.runtime.exec import ExecutionBackend, resolve_backend
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["KickStarterEngine"]
@@ -42,7 +43,8 @@ class KickStarterEngine:
 
     def __init__(self, graph: CSRGraph, source: int = 0,
                  unit_weights: bool = False,
-                 metrics: Optional[EngineMetrics] = None) -> None:
+                 metrics: Optional[EngineMetrics] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         """``unit_weights`` computes BFS hop counts instead of weighted
         shortest paths."""
         if not 0 <= source < graph.num_vertices:
@@ -50,6 +52,7 @@ class KickStarterEngine:
         self.source = source
         self.unit_weights = unit_weights
         self.metrics = metrics if metrics is not None else EngineMetrics()
+        self.backend = resolve_backend(backend)
         self._streaming = StreamingGraph(graph)
         self.tree = DependencyTree(graph.num_vertices)
         self.batches_applied = 0
@@ -80,8 +83,8 @@ class KickStarterEngine:
         dependency tree for every improved vertex."""
         values, parents = self.tree.values, self.tree.parents
         while frontier.size:
-            src, dst, weight = graph.out_edges_of(frontier)
-            self.metrics.count_edges(src.size)
+            src, dst, weight = self.backend.gather_out(graph, frontier,
+                                                       self.metrics)
             if not src.size:
                 break
             candidates = values[src] + self._edge_lengths(weight)
@@ -149,8 +152,8 @@ class KickStarterEngine:
         # dependency paths, so the result is a valid upper bound.
         values[tagged] = np.inf
         parents[tagged] = NO_PARENT
-        in_src, in_dst, in_weight = graph.in_edges_of(tagged)
-        self.metrics.count_edges(in_src.size)
+        in_src, in_dst, in_weight = self.backend.gather_in(graph, tagged,
+                                                           self.metrics)
         safe = ~tagged_mask[in_src]
         in_src, in_dst = in_src[safe], in_dst[safe]
         candidates = values[in_src] + self._edge_lengths(in_weight[safe])

@@ -31,6 +31,7 @@ from repro.graph.csr import CSRGraph
 from repro.ligra.frontier import VertexSubset
 from repro.ligra.interface import edge_map, edge_map_all, pull_edges
 from repro.obs import trace
+from repro.runtime.exec import ExecutionBackend, resolve_backend
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["DeltaEngine", "DeltaState", "StepRecord"]
@@ -76,12 +77,14 @@ class DeltaEngine:
         algorithm: IncrementalAlgorithm,
         metrics: Optional[EngineMetrics] = None,
         mode: str = "delta",
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         if mode not in ("delta", "retract_propagate"):
             raise ValueError("mode must be 'delta' or 'retract_propagate'")
         self.algorithm = algorithm
         self.metrics = metrics if metrics is not None else EngineMetrics()
         self.mode = mode
+        self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
     # State construction
@@ -128,7 +131,8 @@ class DeltaEngine:
         """Full aggregation for the first iteration."""
         algorithm = self.algorithm
         new_aggregate = algorithm.identity_aggregate(graph.num_vertices)
-        src, dst, weight = edge_map_all(graph, metrics=self.metrics)
+        src, dst, weight = edge_map_all(graph, metrics=self.metrics,
+                                        backend=self.backend)
         if src.size:
             contributions = algorithm.contributions(
                 graph, state.values[src], src, dst, weight
@@ -142,7 +146,9 @@ class DeltaEngine:
                     f"{contributions.shape}, expected {expected} "
                     f"(edges selected x aggregation_shape)"
                 )
-            algorithm.aggregation.scatter(new_aggregate, dst, contributions)
+            self.backend.scatter(graph, algorithm.aggregation,
+                                 new_aggregate, dst, contributions,
+                                 self.metrics)
         touched = np.arange(graph.num_vertices, dtype=np.int64)
         g_old_at_touched = state.aggregate
         state.aggregate = new_aggregate
@@ -156,17 +162,21 @@ class DeltaEngine:
         if frontier.is_dense_preferred(graph):
             old_aggregate = state.aggregate
             new_aggregate = algorithm.identity_aggregate(graph.num_vertices)
-            src, dst, weight = edge_map_all(graph, metrics=self.metrics)
+            src, dst, weight = edge_map_all(graph, metrics=self.metrics,
+                                            backend=self.backend)
             if src.size:
                 contributions = algorithm.contributions(
                     graph, state.values[src], src, dst, weight
                 )
-                algorithm.aggregation.scatter(new_aggregate, dst, contributions)
+                self.backend.scatter(graph, algorithm.aggregation,
+                                     new_aggregate, dst, contributions,
+                                     self.metrics)
             touched = np.arange(graph.num_vertices, dtype=np.int64)
             state.aggregate = new_aggregate
             return touched, old_aggregate[touched]
 
-        src, dst, weight = edge_map(graph, frontier, metrics=self.metrics)
+        src, dst, weight = edge_map(graph, frontier, metrics=self.metrics,
+                                    backend=self.backend)
         touched = np.unique(dst)
         g_old_at_touched = state.aggregate[touched].copy()
         if src.size:
@@ -177,15 +187,19 @@ class DeltaEngine:
                 graph, state.values[src], src, dst, weight
             )
             if self.mode == "delta":
-                algorithm.aggregation.scatter_delta(
-                    state.aggregate, dst, new_contribs, old_contribs
+                self.backend.scatter_delta(
+                    graph, algorithm.aggregation, state.aggregate, dst,
+                    new_contribs, old_contribs, self.metrics,
                 )
             else:
-                algorithm.aggregation.scatter_retract(
-                    state.aggregate, dst, old_contribs
+                self.backend.scatter_retract(
+                    graph, algorithm.aggregation, state.aggregate, dst,
+                    old_contribs, self.metrics,
                 )
                 self.metrics.count_edges(src.size)
-                algorithm.aggregation.scatter(state.aggregate, dst, new_contribs)
+                self.backend.scatter(graph, algorithm.aggregation,
+                                     state.aggregate, dst, new_contribs,
+                                     self.metrics)
         return touched, g_old_at_touched
 
     def _pull_aggregate(self, graph, state):
@@ -196,7 +210,8 @@ class DeltaEngine:
         if frontier.is_dense_preferred(graph):
             targets = np.arange(graph.num_vertices, dtype=np.int64)
         else:
-            _, dst, _ = edge_map(graph, frontier, metrics=self.metrics)
+            _, dst, _ = edge_map(graph, frontier, metrics=self.metrics,
+                                 backend=self.backend)
             targets = np.unique(dst)
         g_old_at_targets = state.aggregate[targets].copy()
         self._reevaluate(graph, state.values, state.aggregate, targets)
@@ -207,12 +222,14 @@ class DeltaEngine:
         algorithm = self.algorithm
         aggregate[targets] = algorithm.aggregation.identity_value()
         in_src, in_dst, in_weight = pull_edges(graph, targets,
-                                               metrics=self.metrics)
+                                               metrics=self.metrics,
+                                               backend=self.backend)
         if in_src.size:
             contributions = algorithm.contributions(
                 graph, source_values[in_src], in_src, in_dst, in_weight
             )
-            algorithm.aggregation.scatter(aggregate, in_dst, contributions)
+            self.backend.scatter(graph, algorithm.aggregation, aggregate,
+                                 in_dst, contributions, self.metrics)
 
     def _apply_and_advance(self, graph, state, touched, g_old_at_touched,
                            record_changes):
@@ -230,7 +247,7 @@ class DeltaEngine:
                 g_old[~mask] = state.aggregate[extended[~mask]]
                 touched, g_old_at_touched = extended, g_old
 
-        self.metrics.count_vertices(touched.size)
+        self.backend.count_vertices(graph, touched, self.metrics)
         previous = (
             state.values[touched] if algorithm.uses_previous_value else None
         )

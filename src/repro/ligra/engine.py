@@ -16,6 +16,7 @@ from repro.core.model import IncrementalAlgorithm
 from repro.graph.csr import CSRGraph
 from repro.ligra.interface import edge_map_all
 from repro.obs import trace
+from repro.runtime.exec import ExecutionBackend, resolve_backend
 from repro.runtime.metrics import EngineMetrics, Timer
 
 __all__ = ["LigraEngine"]
@@ -27,9 +28,11 @@ class LigraEngine:
     name = "Ligra"
 
     def __init__(self, algorithm: IncrementalAlgorithm,
-                 metrics: Optional[EngineMetrics] = None) -> None:
+                 metrics: Optional[EngineMetrics] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.algorithm = algorithm
         self.metrics = metrics if metrics is not None else EngineMetrics()
+        self.backend = resolve_backend(backend)
 
     def run(
         self,
@@ -68,12 +71,15 @@ class LigraEngine:
                  all_vertices: np.ndarray) -> np.ndarray:
         algorithm = self.algorithm
         aggregate = algorithm.identity_aggregate(graph.num_vertices)
-        src, dst, weight = edge_map_all(graph, metrics=self.metrics)
+        src, dst, weight = edge_map_all(graph, metrics=self.metrics,
+                                        backend=self.backend)
         if src.size:
             contributions = algorithm.contributions(
                 graph, values[src], src, dst, weight
             )
-            algorithm.aggregation.scatter(aggregate, dst, contributions)
-        self.metrics.count_vertices(graph.num_vertices)
+            self.backend.scatter(graph, algorithm.aggregation, aggregate,
+                                 dst, contributions, self.metrics)
+        self.backend.count_vertices(graph, graph.num_vertices,
+                                    self.metrics)
         previous = values if algorithm.uses_previous_value else None
         return algorithm.apply(graph, aggregate, all_vertices, previous)

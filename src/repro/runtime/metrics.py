@@ -34,12 +34,19 @@ class EngineMetrics:
     refinement_iterations: int = 0
     hybrid_iterations: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Measured work per execution shard (keyed by shard index as a
+    #: string), recorded by the backends of :mod:`repro.runtime.exec`;
+    #: the makespan scaling model consumes this vector directly.
+    shard_loads: Dict[str, float] = field(default_factory=dict)
 
     def count_edges(self, n: int) -> None:
         self.edge_computations += int(n)
 
     def count_vertices(self, n: int) -> None:
         self.vertex_computations += int(n)
+
+    def count_shard_load(self, shard: str, n: float) -> None:
+        self.shard_loads[shard] = self.shard_loads.get(shard, 0.0) + n
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds

@@ -77,6 +77,7 @@ class StreamingAnalyticsServer:
         until_convergence: bool = False,
         max_iterations: int = 1000,
         recovery=None,
+        backend=None,
     ) -> None:
         algorithm = algorithm_factory()
         self._configure(
@@ -87,7 +88,7 @@ class StreamingAnalyticsServer:
             max_iterations=max_iterations,
         )
         self.engine = GraphBoltEngine(
-            algorithm, num_iterations=approx_iterations
+            algorithm, num_iterations=approx_iterations, backend=backend
         )
         self.engine.run(graph)
         self.batches_ingested = 0
@@ -234,7 +235,8 @@ class StreamingAnalyticsServer:
             until_convergence = self.until_convergence
         start = time.perf_counter()
         metrics = EngineMetrics()
-        branch_engine = DeltaEngine(self.algorithm_factory(), metrics)
+        branch_engine = DeltaEngine(self.algorithm_factory(), metrics,
+                                    backend=self.engine.backend)
         state = self.engine._state.copy()
         with trace.span("query", loop="branch",
                         index=self.queries_served) as span:

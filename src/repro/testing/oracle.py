@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.exec import ExecutionBackend
 from repro.runtime.validation import relative_errors
 from repro.testing.runners import (
     REFERENCE_ENGINE,
@@ -138,13 +139,16 @@ def check_workload(
     include_naive: bool = False,
     check_work: bool = True,
     stop_at_first: bool = False,
+    backend: Optional[ExecutionBackend] = None,
 ) -> WorkloadReport:
     """Run one workload through all engines and collect divergences.
 
     ``engines`` overrides the automatic selection (reference engine is
     always added); ``include_naive`` adds the deliberately broken
     strategy for harness self-tests; ``stop_at_first`` returns at the
-    first divergence (the shrinker's fast path).
+    first divergence (the shrinker's fast path); ``backend`` routes
+    every engine through a specific execution backend (the sharded
+    equivalence sweep pins sharded == serial bit for bit).
     """
     profile = workload.profile
     if engines is None:
@@ -160,7 +164,7 @@ def check_workload(
     values: Dict[str, Optional[np.ndarray]] = {}
     dead = set()
     for engine in engines:
-        runners[engine] = build_runner(engine, profile)
+        runners[engine] = build_runner(engine, profile, backend=backend)
         report.edge_work[engine] = []
 
     def step(apply_fn, batch_index: int) -> None:

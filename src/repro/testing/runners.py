@@ -34,6 +34,7 @@ from repro.dataflow.graph_programs import DifferentialSSSP
 from repro.graph.csr import CSRGraph
 from repro.graph.mutation import MutationBatch
 from repro.kickstarter.engine import KickStarterEngine
+from repro.runtime.exec import ExecutionBackend
 from repro.runtime.metrics import EngineMetrics
 from repro.testing.workloads import AlgorithmProfile
 
@@ -65,6 +66,7 @@ class NaiveRunner(StreamingRunner):
             until_convergence=self.until_convergence,
             strategy="naive",
             metrics=self.metrics,
+            backend=self.backend,
         )
         return self.engine.run(graph)
 
@@ -83,16 +85,17 @@ class KickStarterRunner(StreamingRunner):
 
     def __init__(self, algorithm_factory, num_iterations=None,
                  until_convergence: bool = False,
-                 unit_weights: bool = False) -> None:
+                 unit_weights: bool = False,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         super().__init__(algorithm_factory, num_iterations,
-                         until_convergence)
+                         until_convergence, backend)
         self.unit_weights = unit_weights
         self.engine: Optional[KickStarterEngine] = None
 
     def setup(self, graph: CSRGraph) -> np.ndarray:
         self.engine = KickStarterEngine(
             graph, source=0, unit_weights=self.unit_weights,
-            metrics=self.metrics,
+            metrics=self.metrics, backend=self.backend,
         )
         return self.engine.values
 
@@ -114,6 +117,7 @@ class DataflowRunner(StreamingRunner):
             graph, source=0,
             num_stages=graph.num_vertices + 4,
             metrics=self.metrics,
+            backend=self.backend,
         )
         return self.engine.values
 
@@ -139,12 +143,15 @@ def available_engines(profile: AlgorithmProfile,
     return engines
 
 
-def build_runner(engine: str, profile: AlgorithmProfile) -> StreamingRunner:
+def build_runner(engine: str, profile: AlgorithmProfile,
+                 backend: Optional[ExecutionBackend] = None
+                 ) -> StreamingRunner:
     """Instantiate one adapter for one workload's algorithm profile."""
     common = dict(
         algorithm_factory=profile.factory,
         num_iterations=profile.num_iterations,
         until_convergence=profile.until_convergence,
+        backend=backend,
     )
     if engine == "ligra":
         return LigraRunner(**common)

@@ -17,6 +17,70 @@ def base_graph():
     )
 
 
+class TestEdgePositions:
+    """Regression tests for the vectorised CSR slot lookup."""
+
+    def _expected(self, graph, src, dst):
+        pairs = {(int(s), int(d)): i
+                 for i, (s, d) in enumerate(zip(*graph.all_edges()[:2]))}
+        return [pairs.get((int(s), int(d)), -1) for s, d in zip(src, dst)]
+
+    def test_duplicate_pairs_resolve_to_same_slot(self):
+        graph = base_graph()
+        src = np.array([1, 0, 1, 2, 1], dtype=np.int64)
+        dst = np.array([2, 1, 2, 3, 2], dtype=np.int64)
+        positions = StreamingGraph._edge_positions(graph, src, dst)
+        assert positions.tolist() == self._expected(graph, src, dst)
+        assert positions[0] == positions[2] == positions[4]
+
+    def test_missing_edges_report_minus_one(self):
+        graph = base_graph()
+        src = np.array([0, 3, 1, 2], dtype=np.int64)
+        dst = np.array([2, 1, 2, 0], dtype=np.int64)
+        positions = StreamingGraph._edge_positions(graph, src, dst)
+        assert positions.tolist() == self._expected(graph, src, dst)
+        assert positions[0] == -1 and positions[1] == -1
+
+    def test_out_of_range_endpoints_are_absent(self):
+        # dst >= V must not alias the key of a different in-range pair:
+        # with V=4, (0, 5) would collide with (1, 1) if unmasked.
+        graph = CSRGraph.from_edges([(1, 1), (2, 0)], num_vertices=4)
+        src = np.array([0, 1, -1, 2, 7], dtype=np.int64)
+        dst = np.array([5, 1, 0, -2, 0], dtype=np.int64)
+        positions = StreamingGraph._edge_positions(graph, src, dst)
+        assert positions.tolist() == [-1, 0, -1, -1, -1]
+
+    def test_probe_beyond_last_key(self):
+        graph = base_graph()
+        positions = StreamingGraph._edge_positions(
+            graph, np.array([3]), np.array([3])
+        )
+        assert positions.tolist() == [-1]
+
+    def test_empty_query_and_empty_graph(self):
+        graph = base_graph()
+        empty = StreamingGraph._edge_positions(
+            graph, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert empty.size == 0
+        edgeless = CSRGraph.from_edges([], num_vertices=3)
+        positions = StreamingGraph._edge_positions(
+            edgeless, np.array([0, 1]), np.array([1, 2])
+        )
+        assert positions.tolist() == [-1, -1]
+
+    def test_matches_bruteforce_on_random_batches(self):
+        rng = np.random.default_rng(17)
+        edges = {(int(s), int(d))
+                 for s, d in zip(rng.integers(0, 12, 40),
+                                 rng.integers(0, 12, 40))}
+        graph = CSRGraph.from_edges(sorted(edges), num_vertices=12)
+        src = rng.integers(-2, 14, 200)
+        dst = rng.integers(-2, 14, 200)
+        positions = StreamingGraph._edge_positions(graph, src, dst)
+        assert positions.tolist() == self._expected(graph, src, dst)
+
+
 class TestApplyBatch:
     def test_addition(self):
         stream = StreamingGraph(base_graph())

@@ -1,0 +1,292 @@
+"""Unit tests for the partitioned execution layer (repro.runtime.exec)
+and the measured-makespan scaling model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.runtime.exec import (
+    DEFAULT_NUM_SHARDS,
+    PartitionedCSR,
+    SerialBackend,
+    ShardedBackend,
+    backend_from_env,
+    get_backend,
+    load_imbalance,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.runtime.metrics import EngineMetrics
+from repro.runtime.parallel import MakespanModel, lpt_makespan
+
+
+def _chain_graph(num_vertices=12, fan=3):
+    """A deliberately skewed graph: early vertices fan out widely."""
+    edges = []
+    for u in range(num_vertices):
+        for k in range(1, 1 + max(fan - u // 3, 1)):
+            edges.append((u, (u + k) % num_vertices))
+    return CSRGraph.from_edges(edges, num_vertices=num_vertices)
+
+
+# ----------------------------------------------------------------------
+# PartitionedCSR
+# ----------------------------------------------------------------------
+class TestPartitionedCSR:
+    def test_boundaries_cover_vertex_space(self):
+        graph = _chain_graph()
+        for shards in (1, 2, 3, 5, 64):
+            partition = PartitionedCSR.compute(graph, shards)
+            assert partition.num_shards == shards
+            assert partition.boundaries[0] == 0
+            assert partition.boundaries[-1] == graph.num_vertices
+            assert np.all(np.diff(partition.boundaries) >= 0)
+            assert int(partition.shard_sizes().sum()) == graph.num_vertices
+
+    def test_degree_balanced_cuts(self):
+        # One hub holding nearly all edges: the hub's shard should not
+        # also absorb a proportional share of the remaining vertices.
+        edges = [(0, v) for v in range(1, 40)]
+        graph = CSRGraph.from_edges(edges, num_vertices=40)
+        partition = PartitionedCSR.compute(graph, 2)
+        # Vertex 0 carries ~half the total load on its own, so the
+        # first shard stays small.
+        assert partition.boundaries[1] < 20
+
+    def test_shard_of_matches_boundaries(self):
+        graph = _chain_graph()
+        partition = PartitionedCSR.compute(graph, 4)
+        ids = np.arange(graph.num_vertices, dtype=np.int64)
+        owners = partition.shard_of(ids)
+        for k in range(partition.num_shards):
+            lo, hi = partition.boundaries[k], partition.boundaries[k + 1]
+            assert np.all(owners[lo:hi] == k)
+
+    def test_split_sorted_cuts(self):
+        graph = _chain_graph()
+        partition = PartitionedCSR.compute(graph, 3)
+        ids = np.array([0, 1, 5, 9, 11], dtype=np.int64)
+        cuts = partition.split_sorted(ids)
+        rebuilt = np.concatenate([
+            ids[cuts[k]:cuts[k + 1]] for k in range(3)
+        ])
+        assert np.array_equal(rebuilt, ids)
+        owners = partition.shard_of(ids)
+        for k in range(3):
+            assert np.all(owners[cuts[k]:cuts[k + 1]] == k)
+
+    def test_for_graph_caches_on_graph(self):
+        graph = _chain_graph()
+        first = PartitionedCSR.for_graph(graph, 3)
+        assert PartitionedCSR.for_graph(graph, 3) is first
+        assert PartitionedCSR.for_graph(graph, 5) is not first
+
+    def test_extended_to_grows_last_shard_only(self):
+        graph = _chain_graph()
+        partition = PartitionedCSR.compute(graph, 4)
+        grown = partition.extended_to(graph.num_vertices + 7)
+        assert np.array_equal(grown.boundaries[:-1],
+                              partition.boundaries[:-1])
+        assert grown.num_vertices == graph.num_vertices + 7
+        with pytest.raises(ValueError):
+            partition.extended_to(graph.num_vertices - 1)
+
+    def test_with_num_vertices_preserves_shard_boundaries(self):
+        """Satellite: growing a snapshot propagates every cached
+        partition deterministically by extending the last shard."""
+        graph = _chain_graph()
+        partition = PartitionedCSR.for_graph(graph, 4)
+        other = PartitionedCSR.for_graph(graph, 2)
+        grown = graph.with_num_vertices(graph.num_vertices + 5)
+        grown_partition = PartitionedCSR.for_graph(grown, 4)
+        assert np.array_equal(grown_partition.boundaries[:-1],
+                              partition.boundaries[:-1])
+        assert grown_partition.num_vertices == grown.num_vertices
+        # Every cached shard count was propagated, not just one.
+        assert np.array_equal(
+            PartitionedCSR.for_graph(grown, 2).boundaries[:-1],
+            other.boundaries[:-1],
+        )
+        # Growing by zero returns the same object and cache.
+        assert graph.with_num_vertices(graph.num_vertices) is graph
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges([], num_vertices=0)
+        partition = PartitionedCSR.compute(graph, 3)
+        assert partition.num_vertices == 0
+        assert partition.num_shards == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedCSR(np.array([1, 2], dtype=np.int64))
+        with pytest.raises(ValueError):
+            PartitionedCSR(np.array([0, 3, 2], dtype=np.int64))
+        with pytest.raises(ValueError):
+            PartitionedCSR.compute(_chain_graph(), 0)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_gathers_identical(self, shards):
+        graph = _chain_graph()
+        serial, sharded = SerialBackend(), ShardedBackend(shards)
+        vertices = np.array([0, 2, 3, 7, 11], dtype=np.int64)
+        for method in ("gather_out", "gather_in"):
+            expect = getattr(serial, method)(graph, vertices, None)
+            got = getattr(sharded, method)(graph, vertices, None)
+            for e, g in zip(expect, got):
+                assert np.array_equal(e, g), method
+        for e, g in zip(serial.gather_all(graph, None),
+                        sharded.gather_all(graph, None)):
+            assert np.array_equal(e, g)
+
+    def test_gather_unsorted_fallback(self):
+        graph = _chain_graph()
+        sharded = ShardedBackend(3)
+        unsorted = np.array([7, 0, 11, 2], dtype=np.int64)
+        expect = graph.out_edges_of(unsorted)
+        metrics = EngineMetrics()
+        got = sharded.gather_out(graph, unsorted, metrics)
+        for e, g in zip(expect, got):
+            assert np.array_equal(e, g)
+        assert metrics.edge_computations == expect[0].size
+        assert sum(metrics.shard_loads.values()) == expect[0].size
+
+    def test_scatter_identical_and_shard_local(self):
+        from repro.core.aggregation import SumAggregation
+        graph = _chain_graph()
+        agg = SumAggregation()
+        src, dst, _ = graph.all_edges()
+        contribs = (np.arange(dst.size, dtype=np.float64) + 0.25) / 3.0
+        expect = np.zeros(graph.num_vertices)
+        agg.scatter(expect, dst, contribs)
+        got = np.zeros(graph.num_vertices)
+        metrics = EngineMetrics()
+        ShardedBackend(4).scatter(graph, agg, got, dst, contribs, metrics)
+        assert expect.tobytes() == got.tobytes()
+        assert sum(metrics.shard_loads.values()) == dst.size
+
+    def test_edge_counting_matches_serial(self):
+        graph = _chain_graph()
+        vertices = np.array([0, 1, 5], dtype=np.int64)
+        serial_m, sharded_m = EngineMetrics(), EngineMetrics()
+        SerialBackend().gather_out(graph, vertices, serial_m)
+        ShardedBackend(3).gather_out(graph, vertices, sharded_m)
+        assert serial_m.edge_computations == sharded_m.edge_computations
+        # count=False charges nothing but still measures loads.
+        quiet = EngineMetrics()
+        ShardedBackend(3).gather_all(graph, quiet, count=False)
+        assert quiet.edge_computations == 0
+        assert sum(quiet.shard_loads.values()) == graph.num_edges
+
+    def test_count_vertices_dense_and_sparse(self):
+        graph = _chain_graph()
+        backend = ShardedBackend(3)
+        metrics = EngineMetrics()
+        backend.count_vertices(graph, graph.num_vertices, metrics)
+        assert metrics.vertex_computations == graph.num_vertices
+        assert sum(metrics.shard_loads.values()) == graph.num_vertices
+        sparse = EngineMetrics()
+        backend.count_vertices(graph, np.array([0, 11]), sparse)
+        assert sparse.vertex_computations == 2
+
+
+class TestSelection:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        assert isinstance(backend_from_env(), SerialBackend)
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "sharded")
+        backend = backend_from_env()
+        assert isinstance(backend, ShardedBackend)
+        assert backend.num_shards == DEFAULT_NUM_SHARDS
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "sharded:9")
+        assert backend_from_env().num_shards == 9
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "sharded")
+        monkeypatch.setenv("REPRO_EXEC_SHARDS", "6")
+        assert backend_from_env().num_shards == 6
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "quantum")
+        with pytest.raises(ValueError):
+            backend_from_env()
+
+    def test_use_backend_scoping(self):
+        outer = get_backend()
+        inner = ShardedBackend(2)
+        with use_backend(inner):
+            assert get_backend() is inner
+            assert resolve_backend(None) is inner
+        assert get_backend() is outer
+        explicit = SerialBackend()
+        assert resolve_backend(explicit) is explicit
+
+    def test_set_backend_reset(self):
+        previous = get_backend()
+        try:
+            chosen = ShardedBackend(3)
+            set_backend(chosen)
+            assert get_backend() is chosen
+            assert chosen.describe() == "sharded:3"
+        finally:
+            set_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# Makespan model
+# ----------------------------------------------------------------------
+class TestMakespan:
+    def test_lpt_basics(self):
+        assert lpt_makespan([], 4) == 0.0
+        assert lpt_makespan([5, 3, 2], 1) == 10.0
+        assert lpt_makespan([5, 3, 2], 8) == 5.0
+        # Two cores: LPT puts 5 alone, 3+2 together.
+        assert lpt_makespan([5, 3, 2], 2) == 5.0
+        with pytest.raises(ValueError):
+            lpt_makespan([1.0], 0)
+
+    def test_makespan_monotone_and_calibrated(self):
+        metrics = EngineMetrics()
+        for shard, load in enumerate([400, 350, 300, 150]):
+            metrics.count_shard_load(str(shard), load)
+        metrics.iterations = 3
+        model = MakespanModel(per_iteration_span=10.0)
+        measured = 2.5
+        projections = [
+            model.project(metrics, measured, cores)
+            for cores in (1, 2, 4, 16)
+        ]
+        assert projections[0] == pytest.approx(measured)
+        for slower, faster in zip(projections, projections[1:]):
+            assert faster <= slower + 1e-12
+        # The floor is the largest shard plus the span: more cores than
+        # shards cannot help further.
+        assert model.project(metrics, measured, 16) == pytest.approx(
+            model.project(metrics, measured, 64)
+        )
+
+    def test_imbalance(self):
+        metrics = EngineMetrics()
+        metrics.count_shard_load("0", 30)
+        metrics.count_shard_load("1", 10)
+        model = MakespanModel()
+        assert model.imbalance(metrics) == pytest.approx(1.5)
+        assert load_imbalance({"0": 30.0, "1": 10.0}) == pytest.approx(1.5)
+        assert load_imbalance({}) == 1.0
+        assert load_imbalance([4.0, 4.0, 4.0]) == 1.0
+
+    def test_serial_fallback_uses_aggregate_work(self):
+        metrics = EngineMetrics()
+        metrics.count_edges(900)
+        metrics.count_vertices(100)
+        metrics.iterations = 2
+        model = MakespanModel(per_iteration_span=50.0)
+        cost = model.breakdown(metrics, 1.0)
+        assert cost.shard_loads.tolist() == [1000.0]
+        # One undecomposed shard cannot be split: projection is flat.
+        assert model.project(metrics, 1.0, 8) == pytest.approx(
+            model.project(metrics, 1.0, 2)
+        )

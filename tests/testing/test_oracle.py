@@ -136,8 +136,8 @@ class TestCheckWorkload:
         workload = generate_workload(0, algorithms=["pagerank"])
         real_build = oracle_module.build_runner
 
-        def flaky_build(engine, profile):
-            runner = real_build(engine, profile)
+        def flaky_build(engine, profile, **kwargs):
+            runner = real_build(engine, profile, **kwargs)
             if engine == "graphbolt":
                 def boom(batch):
                     raise RuntimeError("kaboom")
