@@ -21,7 +21,13 @@ Commands
            ``docs/operations.md``).
 ``serve``  run a durable streaming deployment: ingest seeded batches
            with a write-ahead log and periodic atomic checkpoints
-           (``--wal DIR --checkpoint-every N``).
+           (``--wal DIR --checkpoint-every N``).  ``--admission`` adds
+           the overload-resilience layer (bounded queue, pressure
+           policies, circuit breaker); ``--status`` prints the health
+           snapshot and ``--health-journal`` appends one per batch;
+           ``--poison-every`` + ``--query-every`` form the
+           overload-soak used in CI (exit 1 on unserved queries or a
+           blown restore budget).
 ``recover`` restore a crashed ``serve`` deployment from its state
            directory (newest loadable checkpoint + WAL-tail replay);
            ``--verify`` re-runs the schedule from scratch and checks
@@ -265,7 +271,21 @@ def _cmd_bench(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.recovery import RecoveryManager
+    from repro.serving.resilience import (
+        BreakerConfig,
+        ResilientAnalyticsServer,
+    )
     from repro.serving.server import StreamingAnalyticsServer
+    from repro.testing import faults
+
+    resilient_mode = (
+        args.admission is not None or args.query_every
+        or args.poison_every or args.health_journal or args.status
+    )
+    if args.poison_every and not args.wal:
+        print("--poison-every needs --wal: poison batches are "
+              "quarantined through the recovery path")
+        return 2
 
     spec = _spec_of(args)
     graph = parse_graph(spec)
@@ -286,14 +306,60 @@ def _cmd_serve(args) -> int:
         ALGORITHMS[args.algorithm], graph,
         approx_iterations=args.iterations, recovery=recovery,
     )
+    resilient = None
+    if resilient_mode:
+        config = BreakerConfig(
+            quarantine_threshold=args.breaker_quarantine_threshold,
+            cooldown_submits=args.breaker_cooldown,
+            enabled=not args.no_breaker,
+        )
+        resilient = ResilientAnalyticsServer(
+            server,
+            queue_capacity=args.queue_capacity,
+            admission=args.admission or "block",
+            breaker=config,
+        )
+    journal = (JsonlJournal.open(args.health_journal)
+               if args.health_journal else None)
+    failpoints = faults.get_failpoints()
+    queries_attempted = 0
+    queries_answered = 0
+    poisons_planted = 0
     rows: List[List] = []
     for index in range(args.batches):
         batch = uniform_batch(server.graph, args.batch_size,
                               seed=args.seed + index)
         start = time.perf_counter()
-        server.ingest(batch)
+        if resilient is None:
+            server.ingest(batch)
+        else:
+            if (args.poison_every
+                    and (index + 1) % args.poison_every == 0):
+                # Plant-a-fault poison: the next refinement pass fails
+                # with a transient fault, which the durable loop
+                # quarantines -- a flapping poison source.
+                failpoints.arm(
+                    "engine.refine", kind="fault",
+                    hit=failpoints.hit_count("engine.refine") + 1,
+                )
+                poisons_planted += 1
+            pump = (not args.burst
+                    or (index + 1) % args.burst == 0)
+            resilient.submit(batch, pump=pump)
+            if (args.query_every
+                    and (index + 1) % args.query_every == 0):
+                queries_attempted += 1
+                resilient.query(deadline_s=args.deadline)
+                queries_answered += 1
+            if journal is not None:
+                resilient.record_health(journal)
         rows.append([index, len(batch),
                      round(time.perf_counter() - start, 4)])
+    if resilient is not None:
+        resilient.drain()
+        if journal is not None:
+            resilient.record_health(journal)
+            journal.close()
     print(format_table(
         ["batch", "mutations", "seconds"], rows,
         title=f"serve {args.algorithm} on {spec}"
@@ -305,8 +371,30 @@ def _cmd_serve(args) -> int:
               f"{len(generations)} checkpoint generation(s), newest at "
               f"seq {generations[-1][0] if generations else '-'}, "
               f"{len(recovery.quarantined)} quarantined")
+    status = 0
+    if resilient is not None:
+        health = resilient.health()
+        if args.status:
+            print(f"health: {health.to_json()}")
+        if queries_attempted and queries_answered < queries_attempted:
+            print(f"SOAK FAIL: {queries_attempted - queries_answered} "
+                  f"of {queries_attempted} queries went unserved")
+            status = 1
+        if poisons_planted and not args.no_breaker:
+            budget = resilient.breaker.restore_budget(
+                resilient.submitted
+            )
+            if server.restores > budget:
+                print(f"SOAK FAIL: {server.restores} restores exceed "
+                      f"the breaker budget of {budget}")
+                status = 1
+        if poisons_planted and health.quarantine_count > poisons_planted:
+            print(f"SOAK FAIL: {health.quarantine_count} quarantines "
+                  f"for {poisons_planted} planted poisons")
+            status = 1
+    if recovery is not None:
         recovery.close()
-    return 0
+    return status
 
 
 def _cmd_recover(args) -> int:
@@ -335,6 +423,10 @@ def _cmd_recover(args) -> int:
             approx_iterations=manifest["approx_iterations"],
         )
         for index in range(server.batches_ingested):
+            if index in recovery.quarantined:
+                # The live loop rolled this batch back (quarantine /
+                # shed / superseded), so the shadow must not apply it.
+                continue
             batch = uniform_batch(shadow.graph, manifest["batch_size"],
                                   seed=manifest["seed"] + index)
             shadow.ingest(batch)
@@ -458,6 +550,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint cadence in batches")
     serve.add_argument("--retain", type=int, default=3,
                        help="checkpoint generations to keep")
+    serve.add_argument("--admission", default=None,
+                       choices=["block", "shed-oldest", "coalesce"],
+                       help="enable the admission controller with this "
+                            "pressure policy (see docs/operations.md)")
+    serve.add_argument("--queue-capacity", type=int, default=8,
+                       help="admission queue capacity in batches")
+    serve.add_argument("--burst", type=int, default=0,
+                       help="submit in bursts of N batches, applying "
+                            "only at burst boundaries (builds queue "
+                            "pressure; 0 = apply every batch)")
+    serve.add_argument("--no-breaker", action="store_true",
+                       help="disable the degradation circuit breaker")
+    serve.add_argument("--breaker-quarantine-threshold", type=int,
+                       default=3,
+                       help="consecutive quarantines that trip the "
+                            "breaker")
+    serve.add_argument("--breaker-cooldown", type=int, default=4,
+                       help="deferred submissions before a half-open "
+                            "probe")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-query wall-clock budget in seconds "
+                            "(expired queries return degraded results)")
+    serve.add_argument("--query-every", type=int, default=0,
+                       help="issue a branch-loop query every N batches")
+    serve.add_argument("--poison-every", type=int, default=0,
+                       help="plant a transient refinement fault every "
+                            "N batches (overload-soak poison source; "
+                            "needs --wal)")
+    serve.add_argument("--health-journal", default=None, metavar="PATH",
+                       help="append a health snapshot per batch to this "
+                            "JSONL file")
+    serve.add_argument("--status", action="store_true",
+                       help="print the final health snapshot (queue "
+                            "depth, staleness, breaker state, "
+                            "quarantines)")
     serve.set_defaults(handler=_cmd_serve)
 
     recover = sub.add_parser(

@@ -22,6 +22,7 @@ from typing import Optional
 from repro.graph.csr import CSRGraph
 from repro.ligra.delta import DeltaEngine, DeltaState
 from repro.obs import trace
+from repro.runtime.deadline import Deadline
 from repro.runtime.metrics import Timer
 
 __all__ = ["hybrid_forward"]
@@ -34,12 +35,21 @@ def hybrid_forward(
     total_iterations: Optional[int],
     until_convergence: bool,
     max_iterations: int = 1000,
+    deadline: Optional[Deadline] = None,
 ) -> DeltaState:
     """Continue delta execution from refined state to the run's end.
 
     ``total_iterations`` is the target iteration count of the whole run
     (refined + forward); in convergence mode the loop instead runs until
     the frontier empties (capped at ``max_iterations``).
+
+    ``deadline`` bounds the loop at iteration granularity: it is
+    consulted *before* each step, so a started iteration always
+    completes and the returned state is exactly the BSP state after
+    ``state.iteration`` iterations -- a valid result truncated early,
+    never a torn one.  The caller learns a deadline fired by comparing
+    ``state.iteration`` against its target (see
+    ``StreamingAnalyticsServer.query``).
     """
     metrics = engine.metrics
     with trace.span("forward", start_iteration=state.iteration) as span, \
@@ -51,13 +61,17 @@ def hybrid_forward(
                 total_iterations = engine.algorithm.default_iterations
             budget = total_iterations - state.iteration
         steps = 0
+        expired = False
         for _ in range(max(budget, 0)):
             if state.iteration > 0 and state.frontier.size == 0:
+                break
+            if deadline is not None and deadline.expired():
+                expired = True
                 break
             with trace.span("iteration", index=state.iteration + 1,
                             frontier=int(state.frontier.size)):
                 engine.step(graph, state)
             metrics.hybrid_iterations += 1
             steps += 1
-        span.tag(iterations=steps)
+        span.tag(iterations=steps, deadline_expired=expired)
     return state

@@ -12,6 +12,12 @@ construction so downstream engines can assume:
 Within a batch, deletions apply before additions: an edge that is both
 deleted and added is *replaced* (its weight updated) if it existed, and
 simply added if it did not.
+
+Consecutive batches compose: :meth:`MutationBatch.merge` folds a
+follow-up batch into this one, producing a single batch whose
+application to *any* base graph matches applying the two in sequence
+(the admission controller's ``coalesce`` policy relies on this, and
+:func:`repro.graph.stream.coalesce_batches` is the n-ary fold).
 """
 
 from __future__ import annotations
@@ -68,6 +74,17 @@ class MutationBatch:
         self.del_dst = _as_index_array(del_dst)
         if self.del_src.shape != self.del_dst.shape:
             raise ValueError("deletion endpoint arrays must match")
+        if grow_to is not None:
+            if isinstance(grow_to, float) and not float(grow_to).is_integer():
+                raise ValueError(
+                    f"grow_to must be an integer vertex count, "
+                    f"got {grow_to!r}"
+                )
+            grow_to = int(grow_to)
+            if grow_to < 0:
+                raise ValueError(
+                    f"grow_to must be non-negative, got {grow_to}"
+                )
         self.grow_to = grow_to
         self.dropped_self_loops = 0
         self._drop_self_loops()
@@ -133,6 +150,83 @@ class MutationBatch:
             hi = max(hi, self.grow_to - 1)
         return hi
 
+    def validate(self, num_vertices: int,
+                 max_growth: Optional[int] = None) -> None:
+        """Boundary check against a concrete graph (the ingest boundary).
+
+        Construction cannot know the target graph, so range errors used
+        to surface deep inside CSR adjustment -- or worse, a deletion at
+        a bogus huge vertex id silently *grew* the graph to cover it.
+        Serving calls this before admitting a batch:
+
+        - deletion endpoints must address existing vertices (an edge at
+          a vertex that does not exist cannot be live, so such a record
+          is malformed, not merely stale);
+        - the implied new vertex count (addition endpoints / ``grow_to``)
+          must not exceed ``num_vertices + max_growth`` when a growth
+          budget is given.
+        """
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        for name, arr in (("del_src", self.del_src),
+                          ("del_dst", self.del_dst)):
+            if arr.size and arr.max() >= num_vertices:
+                bad = int(arr.max())
+                raise ValueError(
+                    f"deletion endpoint out of range: {name} contains "
+                    f"vertex {bad} but the graph has {num_vertices} "
+                    f"vertices (no such edge can exist)"
+                )
+        if max_growth is not None:
+            implied = self.max_vertex() + 1
+            if implied > num_vertices + max_growth:
+                raise ValueError(
+                    f"batch grows the graph to {implied} vertices, "
+                    f"beyond the admission growth budget of "
+                    f"{num_vertices} + {max_growth}"
+                )
+
+    # ------------------------------------------------------------------
+    def merge(self, later: "MutationBatch") -> "MutationBatch":
+        """Fold ``later`` into this batch (self applies first).
+
+        The merged batch applies to any base graph exactly as the
+        sequence ``self; later`` would, under the stream semantics that
+        re-adding a present edge is skipped and deleting an absent edge
+        is skipped.  Per edge (deletions before additions within each
+        batch):
+
+        - anything then delete      -> delete;
+        - delete then add           -> delete + add (replacement);
+        - add then add              -> the first add wins (the second
+          would have been skipped as a re-addition);
+        - ``grow_to``               -> the maximum of the two.
+
+        The fold is associative, so a queue of batches coalesces left to
+        right (:func:`repro.graph.stream.coalesce_batches`).
+        """
+        deleted = {}
+        pending_add = {}
+        for batch in (self, later):
+            for edge in batch.deletions():
+                pending_add.pop(edge, None)
+                deleted[edge] = True
+            for s, d, w in batch.additions():
+                if (s, d) not in pending_add:
+                    pending_add[(s, d)] = w
+        grow_to = self.grow_to
+        if later.grow_to is not None:
+            grow_to = (later.grow_to if grow_to is None
+                       else max(grow_to, later.grow_to))
+        add_edges = list(pending_add)
+        return MutationBatch.from_edges(
+            additions=add_edges,
+            deletions=list(deleted),
+            add_weights=[pending_add[e] for e in add_edges],
+            grow_to=grow_to,
+        )
+
+    # ------------------------------------------------------------------
     def additions(self) -> Iterable[Tuple[int, int, float]]:
         return zip(
             self.add_src.tolist(), self.add_dst.tolist(), self.add_weight.tolist()
@@ -178,9 +272,25 @@ class MutationBatch:
 def _as_index_array(values: Optional[Sequence[int]]) -> np.ndarray:
     if values is None:
         return np.empty(0, dtype=np.int64)
-    arr = np.asarray(values, dtype=np.int64)
+    raw = np.asarray(values)
+    if raw.size == 0:
+        # An empty list materialises as float64; it carries no ids to
+        # mis-type, so it is always acceptable.
+        return np.empty(0, dtype=np.int64)
+    if raw.dtype.kind not in "iu":
+        # np.asarray(..., dtype=int64) would silently truncate floats
+        # (1.7 -> 1) or raise an opaque cast error on strings; reject
+        # both at the boundary with the actual offending dtype.
+        raise ValueError(
+            f"vertex id arrays must have an integer dtype, got "
+            f"{raw.dtype} (a float id is a malformed stream record, "
+            f"not a truncatable one)"
+        )
+    arr = raw.astype(np.int64, copy=False)
     if arr.ndim != 1:
         arr = arr.reshape(-1)
     if arr.size and arr.min() < 0:
-        raise ValueError("vertex ids must be non-negative")
+        raise ValueError(
+            f"vertex ids must be non-negative, got {int(arr.min())}"
+        )
     return arr

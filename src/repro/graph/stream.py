@@ -23,39 +23,16 @@ __all__ = ["MutationStream", "coalesce_batches"]
 def coalesce_batches(batches: Iterable[MutationBatch]) -> MutationBatch:
     """Merge consecutive batches into a single equivalent batch.
 
-    The result applies to *any* base graph exactly as the sequence
-    would, accounting for the stream semantics that a re-addition of a
-    present edge is skipped and a deletion of an absent edge is skipped:
-
-    - add then delete  -> delete   (if the edge pre-existed, the add was
-      a skipped no-op and the delete must still apply; if it did not,
-      the coalesced delete is itself a harmless skip);
-    - delete then add  -> delete + add  (replacement);
-    - add then add     -> first add wins (the second was a skip).
-
-    Each edge is tracked through a tiny state machine: untouched ->
-    deleted -> deleted+pending-add, or untouched -> pending-add.
+    The n-ary fold of :meth:`~repro.graph.mutation.MutationBatch.merge`
+    (which holds the edge-level state machine and its semantics): the
+    result applies to *any* base graph exactly as the sequence would,
+    accounting for the stream semantics that a re-addition of a present
+    edge is skipped and a deletion of an absent edge is skipped.
     """
-    pending_add = {}
-    deleted = {}
-    grow_to: Optional[int] = None
+    merged: Optional[MutationBatch] = None
     for batch in batches:
-        if batch.grow_to is not None:
-            grow_to = (batch.grow_to if grow_to is None
-                       else max(grow_to, batch.grow_to))
-        for edge in batch.deletions():
-            pending_add.pop(edge, None)
-            deleted[edge] = True
-        for s, d, w in batch.additions():
-            if (s, d) not in pending_add:
-                pending_add[(s, d)] = w
-    add_edges = list(pending_add.keys())
-    return MutationBatch.from_edges(
-        additions=add_edges,
-        deletions=list(deleted.keys()),
-        add_weights=[pending_add[e] for e in add_edges],
-        grow_to=grow_to,
-    )
+        merged = batch if merged is None else merged.merge(batch)
+    return merged if merged is not None else MutationBatch.empty()
 
 
 class MutationStream:

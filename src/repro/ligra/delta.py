@@ -56,6 +56,31 @@ class DeltaState:
             iteration=self.iteration,
         )
 
+    def residual_l1(self) -> float:
+        """L1 distance moved by the last iteration.
+
+        For contractive fixpoint computations (PageRank and friends)
+        this bounds how far the state is from the converged answer up to
+        the contraction factor, so a deadline-truncated query can report
+        it as a quality signal: residual 0 means the state was already
+        at its fixpoint when the deadline fired.
+
+        Non-finite movement is excluded: path-style algorithms hold
+        unreached vertices at ``inf``, where ``inf - inf`` is not a
+        distance moved, and a vertex transitioning from unreached to
+        reached has no finite residual to report.
+        """
+        a, b = self.values, self.prev_values
+        if a.shape != b.shape:
+            # A mutation resized the graph mid-state; compare the
+            # overlapping prefix (new vertices start at their initial
+            # value and contribute no residual yet).
+            n = min(a.shape[0], b.shape[0])
+            a, b = a[:n], b[:n]
+        with np.errstate(invalid="ignore"):
+            diff = np.abs(a - b)
+        return float(diff[np.isfinite(diff)].sum())
+
 
 @dataclass
 class StepRecord:

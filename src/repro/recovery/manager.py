@@ -152,14 +152,28 @@ class RecoveryManager:
             return json.load(stream)
 
     # ------------------------------------------------------------------
-    # Quarantine bookkeeping
+    # Quarantine / durable-skip bookkeeping
     # ------------------------------------------------------------------
+    #: Reason prefixes that mark an *administrative* skip (admission
+    #: pressure) rather than a poison finding.  All skip-marked records
+    #: are treated identically by replay; the prefix only keeps the
+    #: operator's ledger honest about why each record was dropped.
+    _SKIP_PREFIXES = ("shed:", "superseded:")
+
     @property
     def quarantined(self) -> FrozenSet[int]:
+        """Every skip-marked sequence number (poison + shed + superseded)."""
         return frozenset(self._quarantined)
 
     def quarantine_reasons(self) -> Dict[int, str]:
         return dict(self._quarantined)
+
+    def poison_quarantined(self) -> FrozenSet[int]:
+        """Only the sequences quarantined for *poison*, not admission."""
+        return frozenset(
+            seq for seq, reason in self._quarantined.items()
+            if not reason.startswith(self._SKIP_PREFIXES)
+        )
 
     def _load_quarantine(self) -> Dict[int, str]:
         if not os.path.exists(self._quarantine_path):
@@ -168,18 +182,45 @@ class RecoveryManager:
             payload = json.load(stream)
         return {int(seq): reason for seq, reason in payload.items()}
 
-    def quarantine(self, seq: int, reason: str) -> None:
-        """Durably mark WAL record ``seq`` as poison: replay skips it."""
+    def _mark_skipped(self, seq: int, reason: str) -> None:
+        """Durably record that replay must skip WAL record ``seq``."""
         self._quarantined[int(seq)] = reason
         _atomic_write_json(
             self._quarantine_path,
             {str(seq): reason for seq, reason in self._quarantined.items()},
         )
-        registry = get_registry()
-        registry.counter("recovery.batches_quarantined").inc()
-        registry.gauge("recovery.quarantine_size").set(
+        get_registry().gauge("recovery.quarantine_size").set(
             len(self._quarantined)
         )
+
+    def quarantine(self, seq: int, reason: str) -> None:
+        """Durably mark WAL record ``seq`` as poison: replay skips it."""
+        self._mark_skipped(seq, reason)
+        get_registry().counter("recovery.batches_quarantined").inc()
+
+    def shed(self, seq: int, reason: str = "admission pressure") -> None:
+        """Durably mark record ``seq`` as shed by admission control.
+
+        A shed batch was WAL-logged at submit time but never applied;
+        marking it keeps replay bit-for-bit with the live loop, which
+        also never applied it.  Same mechanism as :meth:`quarantine`,
+        distinct ledger entry and metric.
+        """
+        self._mark_skipped(seq, f"shed: {reason}")
+        get_registry().counter("recovery.batches_shed").inc()
+
+    def supersede(self, seq: int, into_seq: int) -> None:
+        """Durably mark record ``seq`` as coalesced into ``into_seq``.
+
+        The coalesce admission policy merges queued batches into one
+        equivalent batch, logged as its own WAL record; the constituents
+        must then be skipped on replay or their mutations would apply
+        twice.
+        """
+        self._mark_skipped(
+            seq, f"superseded: coalesced into record {into_seq}"
+        )
+        get_registry().counter("recovery.batches_superseded").inc()
 
     # ------------------------------------------------------------------
     # Retry-with-backoff over transient I/O faults

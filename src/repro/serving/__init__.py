@@ -10,9 +10,30 @@ GraphBolt engine running a short BSP window (kept exact-for-its-window
 by dependency-driven refinement), and a query branches the rolling
 state forward to the full window or to convergence without disturbing
 ingestion.
+
+:mod:`repro.serving.resilience` wraps the server in an overload layer:
+bounded-queue admission control, deadline-budgeted queries, and a
+degradation circuit breaker over the recovery path.
 """
 
+from repro.serving.resilience import (
+    ADMISSION_POLICIES,
+    BreakerConfig,
+    CircuitBreaker,
+    HealthSnapshot,
+    ResilientAnalyticsServer,
+)
 from repro.serving.server import QueryResult, StreamingAnalyticsServer
-from repro.serving.suite import AnalyticsSuite
+from repro.serving.suite import AnalyticsSuite, SuiteRecovery
 
-__all__ = ["AnalyticsSuite", "QueryResult", "StreamingAnalyticsServer"]
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AnalyticsSuite",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "HealthSnapshot",
+    "QueryResult",
+    "ResilientAnalyticsServer",
+    "StreamingAnalyticsServer",
+    "SuiteRecovery",
+]

@@ -47,6 +47,7 @@ from repro.graph.mutation import MutationBatch
 from repro.ligra.delta import DeltaEngine
 from repro.obs import trace
 from repro.obs.registry import get_registry
+from repro.runtime.deadline import Deadline, WallClockDeadline
 from repro.runtime.metrics import EngineMetrics
 from repro.testing import faults
 from repro.testing.faults import InjectedCrash
@@ -56,13 +57,23 @@ __all__ = ["QueryResult", "StreamingAnalyticsServer"]
 
 @dataclass
 class QueryResult:
-    """An exact answer computed by a branch loop."""
+    """An answer computed by a branch loop.
+
+    ``degraded`` is set iff a deadline fired before the requested window
+    completed; the values are then still an *exact* BSP state -- the
+    same bits a from-scratch run truncated at ``iterations_completed``
+    would produce -- just a shallower one, with ``residual_l1``
+    reporting how much the last iteration still moved the values.
+    """
 
     values: np.ndarray
     iterations: int
     seconds: float
     batches_ingested: int
     edge_computations: int
+    degraded: bool = False
+    iterations_completed: int = 0
+    residual_l1: float = 0.0
 
 
 class StreamingAnalyticsServer:
@@ -93,6 +104,9 @@ class StreamingAnalyticsServer:
         self.engine.run(graph)
         self.batches_ingested = 0
         self.queries_served = 0
+        self.queries_degraded = 0
+        self.batches_quarantined = 0
+        self.restores = 0
         self.recovery = recovery
         if recovery is not None:
             # Generation zero: the WAL holds mutations, not the initial
@@ -142,6 +156,9 @@ class StreamingAnalyticsServer:
         server.engine = engine
         server.batches_ingested = batches_ingested
         server.queries_served = 0
+        server.queries_degraded = 0
+        server.batches_quarantined = 0
+        server.restores = 0
         server.recovery = recovery
         return server
 
@@ -157,12 +174,18 @@ class StreamingAnalyticsServer:
         """The continuously maintained short-window results."""
         return self.engine.values
 
-    def ingest(self, batch: MutationBatch) -> np.ndarray:
+    def ingest(self, batch: MutationBatch,
+               logged_seq: Optional[int] = None) -> np.ndarray:
         """Apply one mutation batch in the main loop.
 
         With a recovery manager attached the batch is WAL-logged first
         and a poison batch is quarantined instead of raising; without
         one, failures propagate to the caller unchanged.
+
+        ``logged_seq`` marks a batch the caller already WAL-logged (the
+        admission controller logs at submit time, before queueing, so
+        queued batches survive a crash); pass its sequence number to
+        skip the duplicate append.
         """
         start = time.perf_counter()
         registry = get_registry()
@@ -173,7 +196,7 @@ class StreamingAnalyticsServer:
                 faults.hit("engine.refine")
                 values = self.engine.apply_mutations(batch)
             else:
-                values = self._ingest_durable(batch)
+                values = self._ingest_durable(batch, logged_seq)
         self.batches_ingested += 1
         if self.recovery is not None:
             self.recovery.maybe_checkpoint(self.engine,
@@ -186,9 +209,13 @@ class StreamingAnalyticsServer:
         )
         return values
 
-    def _ingest_durable(self, batch: MutationBatch) -> np.ndarray:
+    def _ingest_durable(self, batch: MutationBatch,
+                        logged_seq: Optional[int] = None) -> np.ndarray:
         """Write-ahead, apply, and quarantine-on-poison."""
-        seq = self.recovery.log_batch(batch)
+        if logged_seq is None:
+            seq = self.recovery.log_batch(batch)
+        else:
+            seq = logged_seq
         poison: Optional[str] = None
         values: Optional[np.ndarray] = None
         try:
@@ -218,21 +245,40 @@ class StreamingAnalyticsServer:
                 self.algorithm_factory
             )
         self.engine = engine
+        self.batches_quarantined += 1
+        self.restores += 1
         registry = get_registry()
         registry.counter("serving.batches_quarantined").inc()
+        registry.counter("serving.restores").inc()
         return self.engine.values
 
     # ------------------------------------------------------------------
     # Branch loop
     # ------------------------------------------------------------------
-    def query(self, until_convergence: Optional[bool] = None) -> QueryResult:
+    def query(
+        self,
+        until_convergence: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> QueryResult:
         """Branch the current state forward to an exact answer.
 
         Does not perturb the main loop: the rolling state is copied and
         iterated by a detached delta engine.
+
+        ``deadline_s`` bounds the branch to a wall-clock budget (or pass
+        any :class:`~repro.runtime.deadline.Deadline` as ``deadline``
+        for deterministic budgets in tests).  On expiry the best-so-far
+        state is returned with ``degraded=True`` -- never an exception:
+        a deadline query always produces a usable BSP state, identical
+        to a from-scratch run truncated at ``iterations_completed``.
         """
         if until_convergence is None:
             until_convergence = self.until_convergence
+        if deadline is None and deadline_s is not None:
+            deadline = WallClockDeadline(deadline_s)
+        if deadline is not None:
+            faults.hit("query.deadline")
         start = time.perf_counter()
         metrics = EngineMetrics()
         branch_engine = DeltaEngine(self.algorithm_factory(), metrics,
@@ -245,19 +291,38 @@ class StreamingAnalyticsServer:
                 total_iterations=self.exact_iterations,
                 until_convergence=until_convergence,
                 max_iterations=self.max_iterations,
+                deadline=deadline,
             )
-            span.tag(iterations=state.iteration)
+            # The window is incomplete iff iterations remain *and* the
+            # frontier is non-empty -- an early fixpoint means further
+            # iterations are identity, so the state already equals the
+            # full-window answer and is not degraded.
+            if until_convergence:
+                target = self.max_iterations
+            else:
+                target = self.exact_iterations
+            degraded = bool(
+                state.iteration < target and state.frontier.size > 0
+            )
+            span.tag(iterations=state.iteration, degraded=degraded)
         self.queries_served += 1
         # One measurement: the recorded histogram and the reported
         # latency must agree.
         seconds = time.perf_counter() - start
-        get_registry().histogram("serving.query_seconds").observe(seconds)
+        registry = get_registry()
+        registry.histogram("serving.query_seconds").observe(seconds)
+        if degraded:
+            self.queries_degraded += 1
+            registry.counter("serving.queries_degraded").inc()
         return QueryResult(
             values=state.values,
             iterations=state.iteration,
             seconds=seconds,
             batches_ingested=self.batches_ingested,
             edge_computations=metrics.edge_computations,
+            degraded=degraded,
+            iterations_completed=state.iteration,
+            residual_l1=state.residual_l1(),
         )
 
     def __repr__(self) -> str:

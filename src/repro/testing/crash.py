@@ -51,6 +51,8 @@ __all__ = [
     "CrashRound",
     "crash_recovery_equivalence",
     "deterministic_site_sweep",
+    "resilient_crash_equivalence",
+    "resilient_site_sweep",
     "run_crash_fuzz",
     "run_plant_fault",
 ]
@@ -209,7 +211,10 @@ def crash_recovery_equivalence(
 
 def _choose_site_and_hit(rng: np.random.Generator,
                          schedule_len: int) -> tuple:
-    site = str(rng.choice(list(faults.KNOWN_SITES)))
+    # The random fuzzer drives a plain durable server, which never
+    # passes the admission/breaker/deadline sites -- drawing those
+    # would be dead rounds.  The resilient sweep covers them.
+    site = str(rng.choice(list(faults.DURABLE_SITES)))
     budget = schedule_len if site in _PER_BATCH_SITES else 2
     hit = int(rng.integers(1, max(budget, 1) + 1))
     return site, hit
@@ -316,12 +321,178 @@ def deterministic_site_sweep(
     workload = _workload_with_batches(seed, minimum=3)
     root = state_root or tempfile.mkdtemp(prefix="crash-sweep-")
     results = []
-    for site in faults.KNOWN_SITES:
+    for site in faults.DURABLE_SITES:
         hit = 2 if site in _PER_BATCH_SITES else 1
         state_dir = os.path.join(root, site.replace(".", "_"))
         round_ = crash_recovery_equivalence(workload, site, hit,
                                             state_dir,
                                             checkpoint_every=2)
+        results.append(round_)
+        emit(round_.summary())
+        if round_.ok:
+            shutil.rmtree(state_dir, ignore_errors=True)
+    return results
+
+
+def resilient_crash_equivalence(
+    workload: Workload,
+    site: str,
+    hit: int,
+    state_dir: str,
+    checkpoint_every: int = 2,
+) -> CrashRound:
+    """Kill a *resilient* server at ``(site, hit)`` and recover.
+
+    The scenario is built so every admission-layer site actually
+    executes: batches go through ``submit`` (hits ``admission.enqueue``
+    and WAL-logs before queueing), each batch is followed by a
+    deadline-budgeted query (hits ``query.deadline``), and after the
+    first batch the breaker is manually tripped with a short cooldown so
+    deferred submissions build a non-empty queue and a half-open probe
+    fires (hits ``breaker.probe``).
+
+    Equivalence: submit-time WAL logging makes queued-but-unapplied
+    batches recoverable -- replay applies them in sequence order, which
+    is exactly the order the live FIFO queue would have -- and batch
+    application is idempotent (re-adds and absent-deletes are skipped),
+    so at-least-once resubmission after a crash cannot fork the state.
+    The final values must be bit-for-bit the plain uninterrupted run's,
+    and every WAL record must end up either applied or durably
+    skip-marked (the "recoverable or provably shed" ledger check).
+    """
+    from repro.runtime.deadline import StepDeadline
+    from repro.serving.resilience import (
+        BreakerConfig,
+        ResilientAnalyticsServer,
+    )
+
+    profile = workload.profile
+    expected = _uninterrupted_values(workload)
+    round_ = CrashRound(
+        seed=workload.seed, workload=workload.describe(),
+        site=site, hit=hit, batches=len(workload.schedule),
+    )
+    # No degraded window: the sweep pins bit-for-bit equality, so probe
+    # applies must use the same window as the ground-truth loop.
+    breaker_config = BreakerConfig(
+        cooldown_submits=2, degraded_approx_iterations=None,
+        degraded_admission="coalesce",
+    )
+
+    def attach() -> ResilientAnalyticsServer:
+        manager = RecoveryManager(
+            state_dir, checkpoint_every=checkpoint_every, retain=2,
+        )
+        make = dict(
+            queue_capacity=len(workload.schedule) + 2,
+            admission="block", breaker=breaker_config,
+        )
+        if manager.checkpoints():
+            return ResilientAnalyticsServer.recover(
+                manager, profile.factory, **make
+            )
+        server = StreamingAnalyticsServer(
+            profile.factory, workload.build_graph(),
+            approx_iterations=APPROX_ITERATIONS, recovery=manager,
+        )
+        return ResilientAnalyticsServer(server, **make)
+
+    schedule = workload.schedule
+    with scoped_failpoints() as registry:
+        registry.arm(site, kind="crash", hit=hit)
+        resilient: Optional[ResilientAnalyticsServer] = None
+        index = 0
+        tripped = False
+        while resilient is None or index < len(schedule):
+            if resilient is None:
+                try:
+                    resilient = attach()
+                except InjectedCrash:
+                    round_.crashes += 1
+                    continue
+                continue
+            try:
+                resilient.submit(schedule[index], pump=False)
+                index += 1
+                if not tripped:
+                    # Trip after the first admitted batch so deferred
+                    # submissions queue up behind an OPEN breaker.
+                    resilient.pump()
+                    resilient.breaker.trip("sweep scenario")
+                    tripped = True
+                resilient.pump()
+                resilient.query(deadline=StepDeadline(1))
+            except InjectedCrash:
+                round_.crashes += 1
+                resilient.server.recovery.close()
+                resilient = None
+        try:
+            resilient.drain()
+            resilient.query(deadline=StepDeadline(1))
+        except InjectedCrash:
+            round_.crashes += 1
+            resilient.server.recovery.close()
+            resilient = attach()
+            resilient.drain()
+        round_.fired = bool(registry.fired)
+        manager = resilient.server.recovery
+        round_.quarantined = len(manager.poison_quarantined())
+        actual = np.asarray(resilient.approximate_values,
+                            dtype=np.float64).copy()
+        # Ledger check: every logged record is applied or skip-marked.
+        # A fresh recovery from disk must land on the exact same state;
+        # if a queued record were lost, replay would diverge here.
+        manager.close()
+        replayer = RecoveryManager(state_dir,
+                                   checkpoint_every=checkpoint_every,
+                                   retain=2)
+        recovered = replayer.recover(profile.factory)
+        replayed = np.asarray(recovered.approximate_values,
+                              dtype=np.float64)
+        replayer.close()
+
+    verdict = compare_snapshots(actual, expected, tolerance=0.0)
+    replay_verdict = compare_snapshots(replayed, actual, tolerance=0.0)
+    if verdict is not None:
+        kind, detail, _ = verdict
+        round_.detail = f"{kind}: {detail}"
+    elif replay_verdict is not None:
+        kind, detail, _ = replay_verdict
+        round_.detail = f"disk replay diverged -- {kind}: {detail}"
+    elif round_.quarantined:
+        round_.detail = (
+            f"{round_.quarantined} batch(es) quarantined on a "
+            f"healthy workload"
+        )
+    else:
+        round_.equivalent = True
+    return round_
+
+
+def resilient_site_sweep(
+    seed: int = 7,
+    state_root: Optional[str] = None,
+    emit: Callable[[str], None] = lambda _: None,
+) -> List[CrashRound]:
+    """Kill-and-recover across the admission-layer failpoints.
+
+    Complements :func:`deterministic_site_sweep`: same acceptance shape
+    (every round must come back ``ok``) over
+    :data:`repro.testing.faults.RESILIENCE_SITES`, driven through the
+    resilient server so each site actually fires with a non-empty
+    admission queue in flight.
+    """
+    workload = _workload_with_batches(seed, minimum=4)
+    root = state_root or tempfile.mkdtemp(prefix="resilient-sweep-")
+    results = []
+    for site in faults.RESILIENCE_SITES:
+        # submit and query sites fire once per batch; the probe fires
+        # exactly once in this scenario (the breaker closes on it).
+        hit = 1 if site == "breaker.probe" else 2
+        state_dir = os.path.join(root, site.replace(".", "_"))
+        round_ = resilient_crash_equivalence(workload, site, hit,
+                                             state_dir,
+                                             checkpoint_every=2)
         results.append(round_)
         emit(round_.summary())
         if round_.ok:

@@ -35,11 +35,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
+    "DURABLE_SITES",
     "FailpointRegistry",
     "FiredFailpoint",
     "InjectedCrash",
     "InjectedFault",
     "KNOWN_SITES",
+    "RESILIENCE_SITES",
     "get_failpoints",
     "hit",
     "scoped_failpoints",
@@ -61,7 +63,14 @@ __all__ = [
 #:                       ingested batch (WAL has the record, the engine
 #:                       never applied it);
 #: ``recover.replay``    before a WAL record is re-applied during
-#:                       recovery (a crash *during* recovery).
+#:                       recovery (a crash *during* recovery);
+#: ``admission.enqueue`` after a submitted batch is WAL-logged but
+#:                       before it enters the admission queue (the
+#:                       record is durable, the queue entry is not);
+#: ``query.deadline``    at the start of a deadline-budgeted query,
+#:                       before the branch state is copied;
+#: ``breaker.probe``     before a half-open circuit breaker sends its
+#:                       trial batch through the full path.
 KNOWN_SITES = (
     "wal.append",
     "wal.append.torn",
@@ -69,7 +78,19 @@ KNOWN_SITES = (
     "checkpoint.replace",
     "engine.refine",
     "recover.replay",
+    "admission.enqueue",
+    "query.deadline",
+    "breaker.probe",
 )
+
+#: The sites exercised by a plain durable server (no admission layer).
+#: ``deterministic_site_sweep`` iterates these; the resilient sweep
+#: (``resilient_site_sweep``) covers the admission-layer sites above.
+DURABLE_SITES = KNOWN_SITES[:6]
+
+#: The sites only a resilient server (admission + breaker + deadline
+#: queries) passes through.
+RESILIENCE_SITES = KNOWN_SITES[6:]
 
 _KINDS = ("crash", "fault")
 

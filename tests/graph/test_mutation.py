@@ -211,3 +211,135 @@ class TestStreamEdgeCases:
                 engine.graph, 8
             )
             assert np.allclose(values, truth, atol=1e-9)
+
+
+class TestValidate:
+    """The ingest-boundary check the admission controller relies on."""
+
+    def test_clean_batch_passes(self):
+        batch = MutationBatch.from_edges(additions=[(0, 5)],
+                                         deletions=[(1, 2)])
+        batch.validate(6)  # no exception
+        batch.validate(6, max_growth=0)
+
+    def test_deletion_endpoint_out_of_range(self):
+        batch = MutationBatch.from_edges(deletions=[(1, 99)])
+        with pytest.raises(ValueError, match="deletion endpoint"):
+            batch.validate(10)
+        batch.validate(100)  # in range once the graph is big enough
+
+    def test_additions_may_grow_without_a_budget(self):
+        batch = MutationBatch.from_edges(additions=[(0, 500)])
+        batch.validate(10)  # implicit growth is fine by default
+
+    def test_growth_budget_enforced(self):
+        batch = MutationBatch.from_edges(additions=[(0, 15)])
+        batch.validate(10, max_growth=6)
+        with pytest.raises(ValueError, match="growth budget"):
+            batch.validate(10, max_growth=5)
+
+    def test_grow_to_counts_against_the_budget(self):
+        batch = MutationBatch.from_edges(grow_to=20)
+        batch.validate(10, max_growth=10)
+        with pytest.raises(ValueError, match="growth budget"):
+            batch.validate(10, max_growth=9)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            MutationBatch.empty().validate(-1)
+
+
+class TestConstructionBoundaries:
+    def test_float_ids_rejected_not_truncated(self):
+        with pytest.raises(ValueError, match="integer dtype"):
+            MutationBatch.from_edges(additions=[(0.5, 1.5)])
+
+    def test_string_ids_rejected(self):
+        with pytest.raises(ValueError, match="integer dtype"):
+            MutationBatch(add_src=["a"], add_dst=["b"])
+
+    def test_empty_lists_are_fine_despite_float64_default(self):
+        batch = MutationBatch(add_src=[], add_dst=[], del_src=[],
+                              del_dst=[])
+        assert len(batch) == 0
+
+    def test_non_finite_weights_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            MutationBatch.from_edges(additions=[(0, 1)],
+                                     add_weights=[float("nan")])
+        with pytest.raises(ValueError, match="finite"):
+            MutationBatch.from_edges(additions=[(0, 1)],
+                                     add_weights=[float("inf")])
+
+    def test_fractional_grow_to_rejected(self):
+        with pytest.raises(ValueError, match="integer vertex count"):
+            MutationBatch.from_edges(grow_to=7.5)
+        assert MutationBatch.from_edges(grow_to=7.0).grow_to == 7
+
+    def test_negative_grow_to_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MutationBatch.from_edges(grow_to=-3)
+
+
+class TestMerge:
+    """The edge-level state machine behind the coalesce policy."""
+
+    def test_delete_then_add_is_a_replacement(self):
+        first = MutationBatch.from_edges(deletions=[(0, 1)])
+        second = MutationBatch.from_edges(additions=[(0, 1)],
+                                          add_weights=[4.0])
+        merged = first.merge(second)
+        assert list(merged.deletions()) == [(0, 1)]
+        assert list(merged.additions()) == [(0, 1, 4.0)]
+
+    def test_add_then_delete_is_a_delete(self):
+        first = MutationBatch.from_edges(additions=[(0, 1)])
+        second = MutationBatch.from_edges(deletions=[(0, 1)])
+        merged = first.merge(second)
+        assert list(merged.deletions()) == [(0, 1)]
+        assert merged.num_additions == 0
+
+    def test_first_add_wins(self):
+        # Stream semantics: the second add would be skipped as a
+        # re-addition, so the merged batch must carry the first weight.
+        first = MutationBatch.from_edges(additions=[(2, 3)],
+                                         add_weights=[1.5])
+        second = MutationBatch.from_edges(additions=[(2, 3)],
+                                          add_weights=[9.9])
+        merged = first.merge(second)
+        assert list(merged.additions()) == [(2, 3, 1.5)]
+
+    def test_grow_to_takes_the_maximum(self):
+        first = MutationBatch.from_edges(grow_to=10)
+        second = MutationBatch.from_edges(grow_to=7)
+        assert first.merge(second).grow_to == 10
+        assert second.merge(first).grow_to == 10
+        third = MutationBatch.from_edges(additions=[(0, 1)])
+        assert third.merge(first).grow_to == 10
+        assert third.merge(MutationBatch.empty()).grow_to is None
+
+    def test_merge_matches_sequential_application(self):
+        from repro.graph.generators import rmat
+        from repro.graph.mutable import StreamingGraph
+        from tests.conftest import make_random_batch
+
+        rng = np.random.default_rng(31)
+        for trial in range(10):
+            graph = rmat(scale=5, edge_factor=3, seed=trial,
+                         weighted=True)
+            batches = []
+            live = StreamingGraph(graph)
+            for _ in range(3):
+                batch = make_random_batch(live.graph, rng, 6, 6)
+                batches.append(batch)
+                live.apply_batch(batch)
+            merged = batches[0]
+            for batch in batches[1:]:
+                merged = merged.merge(batch)
+            folded = StreamingGraph(graph)
+            folded.apply_batch(merged)
+            seq_src, seq_dst, seq_w = live.graph.all_edges()
+            fold_src, fold_dst, fold_w = folded.graph.all_edges()
+            assert np.array_equal(seq_src, fold_src), trial
+            assert np.array_equal(seq_dst, fold_dst), trial
+            assert np.array_equal(seq_w, fold_w), trial

@@ -9,17 +9,28 @@ through the PR-1 oracle).
 from repro.testing.crash import (
     crash_recovery_equivalence,
     deterministic_site_sweep,
+    resilient_site_sweep,
     run_crash_fuzz,
     run_plant_fault,
 )
-from repro.testing.faults import KNOWN_SITES
+from repro.testing.faults import DURABLE_SITES, RESILIENCE_SITES
 from repro.testing.workloads import generate_workload
 
 
 class TestSiteSweep:
-    def test_every_site_recovers_bit_for_bit(self, tmp_path):
+    def test_every_durable_site_recovers_bit_for_bit(self, tmp_path):
         rounds = deterministic_site_sweep(state_root=str(tmp_path))
-        assert [r.site for r in rounds] == list(KNOWN_SITES)
+        assert [r.site for r in rounds] == list(DURABLE_SITES)
+        for round_ in rounds:
+            assert round_.ok, round_.summary()
+            assert round_.crashes >= 1, (
+                f"{round_.site}: the failpoint never fired, so the "
+                f"round proved nothing"
+            )
+
+    def test_every_resilience_site_recovers_bit_for_bit(self, tmp_path):
+        rounds = resilient_site_sweep(state_root=str(tmp_path))
+        assert [r.site for r in rounds] == list(RESILIENCE_SITES)
         for round_ in rounds:
             assert round_.ok, round_.summary()
             assert round_.crashes >= 1, (

@@ -73,3 +73,76 @@ class TestSuite:
         suite.apply(make_random_batch(suite.graph, rng, 5, 5))
         assert suite.batches_applied == 2
         assert "rank" in repr(suite)
+
+
+class TestBackends:
+    def test_backend_threads_through_every_engine(self, graph, rng):
+        from repro.runtime.exec import ShardedBackend
+
+        backend = ShardedBackend(4)
+        sharded = AnalyticsSuite(graph, ANALYSES, num_iterations=5,
+                                 backend=backend)
+        serial = AnalyticsSuite(graph, ANALYSES, num_iterations=5)
+        assert all(engine.backend is backend
+                   for engine in sharded.engines.values())
+        for _ in range(3):
+            batch = make_random_batch(serial.graph, rng, 10, 10)
+            serial.apply(batch)
+            sharded.apply(batch)
+        for name in ANALYSES:
+            assert np.array_equal(sharded.values(name),
+                                  serial.values(name)), name
+
+
+def growth_poison_check(values):
+    """Suite poison rule: these workloads never grow the graph."""
+    if values.shape[0] > 128:
+        return f"unexpected growth to {values.shape[0]} vertices"
+    return None
+
+
+class TestSuiteRecovery:
+    def test_durable_suite_rejects_triangles(self, graph, tmp_path):
+        from repro.serving import SuiteRecovery
+
+        with pytest.raises(ValueError):
+            AnalyticsSuite(graph, {"rank": lambda: PageRank()},
+                           include_triangles=True,
+                           recovery=SuiteRecovery(str(tmp_path)))
+
+    def test_poison_quarantines_the_whole_suite(self, graph, rng,
+                                                tmp_path):
+        from repro.graph.mutation import MutationBatch
+        from repro.serving import SuiteRecovery
+
+        recovery = SuiteRecovery(str(tmp_path), checkpoint_every=100,
+                                 poison_check=growth_poison_check)
+        suite = AnalyticsSuite(graph, ANALYSES, num_iterations=5,
+                               recovery=recovery)
+        shadow = AnalyticsSuite(graph, ANALYSES, num_iterations=5)
+        good = make_random_batch(graph, rng, 10, 10)
+        suite.apply(good)
+        shadow.apply(good)
+
+        poison = MutationBatch.from_edges(additions=[(0, 1)],
+                                          grow_to=200)
+        values = suite.apply(poison)  # must NOT raise
+        assert suite.batches_quarantined == 1
+        # Every analysis rolled back -- none kept the poison's effects.
+        for name in ANALYSES:
+            assert np.array_equal(values[name], shadow.values(name)), name
+            assert recovery.manager(name).quarantined == frozenset({1})
+        # The restored engines share ONE structure again.
+        snapshots = {id(engine.graph)
+                     for engine in suite.engines.values()}
+        assert len(snapshots) == 1
+        assert suite.graph.num_vertices == shadow.graph.num_vertices
+
+        # ... and the stream keeps flowing in lockstep.
+        after = make_random_batch(shadow.graph, rng, 10, 10)
+        suite.apply(after)
+        shadow.apply(after)
+        for name in ANALYSES:
+            assert np.array_equal(suite.values(name),
+                                  shadow.values(name)), name
+        recovery.close()

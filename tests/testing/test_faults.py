@@ -95,3 +95,29 @@ class TestProcessWide:
     def test_module_hit_is_noop_by_default(self):
         with scoped_failpoints():
             hit("engine.refine")  # nothing armed: must not raise
+
+
+class TestSiteRoster:
+    def test_resilience_sites_registered(self):
+        from repro.testing.faults import DURABLE_SITES, RESILIENCE_SITES
+
+        for site in ("admission.enqueue", "query.deadline",
+                     "breaker.probe"):
+            assert site in KNOWN_SITES
+            assert site in RESILIENCE_SITES
+            assert site not in DURABLE_SITES
+
+    def test_split_partitions_the_roster(self):
+        from repro.testing.faults import DURABLE_SITES, RESILIENCE_SITES
+
+        assert tuple(DURABLE_SITES) + tuple(RESILIENCE_SITES) == tuple(
+            KNOWN_SITES
+        )
+        assert not set(DURABLE_SITES) & set(RESILIENCE_SITES)
+
+    def test_new_sites_armable(self):
+        registry = FailpointRegistry()
+        registry.arm("breaker.probe", kind="crash", hit=2)
+        registry.hit("breaker.probe")  # count-only, below the hit
+        with pytest.raises(InjectedCrash):
+            registry.hit("breaker.probe")
