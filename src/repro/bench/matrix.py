@@ -1,0 +1,733 @@
+"""Declarative experiment matrix: YAML run tables -> ``BENCH_*.json``.
+
+The paper's evaluation is a structured grid of topology x scale x
+engine runs (Tables 5-9, Figures 4-9).  This module replaces hand-built
+pytest configs with a declarative run-table loader in the style of
+muBench's 180-run experiment definition and stack_route_sim's
+``ExperimentRunner``/``scrape_metrics`` loop (SNIPPETS.md snippets 2/3):
+
+- :func:`load_table` parses and validates a YAML run table whose
+  ``axes`` (topology, scale, algorithm, engine, backend, scenario,
+  admission, faults, ...) are expanded as a cartesian product, minus
+  declared ``exclude`` combinations;
+- :func:`run_matrix` executes every expanded run deterministically,
+  scraping each through a scoped PR-2 metrics registry, and assembles a
+  schema-versioned ``BENCH_<area>.json`` payload (config hash, seed,
+  wall-clock percentiles, engine work counters, peak shard imbalance)
+  plus a paper-style text table;
+- :func:`canonical_payload` strips the timing section so that the same
+  YAML + seed yields a *byte-identical* payload -- the determinism pin
+  the test suite enforces and the regression gate (:mod:`gate`)
+  compares against committed baselines.
+
+Run tables for the legacy paper drivers (Tables 5/6/9) carry a
+``driver:`` key instead of being executed generically; the benchmark
+suite routes their previously hand-built configs through
+:func:`driver_kwargs` / :func:`run_driver` so the grid lives in YAML.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.mutation import MutationBatch
+from repro.graph.stream import hotspot_storm
+from repro.obs.registry import scoped_registry
+from repro.runtime.exec import (
+    ExecutionBackend,
+    SerialBackend,
+    ShardedBackend,
+    load_imbalance,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AXIS_ORDER",
+    "RunTable",
+    "RunSpec",
+    "MatrixError",
+    "load_table",
+    "expand",
+    "config_hash",
+    "run_matrix",
+    "canonical_payload",
+    "validate_payload",
+    "matrices_dir",
+    "driver_kwargs",
+    "run_driver",
+    "payload_filename",
+]
+
+#: Bump on any incompatible change to the emitted payload layout.
+SCHEMA_VERSION = 1
+
+#: Canonical config-key order; also the run-id segment order.
+AXIS_ORDER = (
+    "topology", "scale", "algorithm", "engine", "backend", "scenario",
+    "admission", "faults", "batch_size", "num_batches", "iterations",
+    "delete_fraction", "edge_factor", "seed",
+)
+
+#: Per-key defaults merged under ``fixed``.
+DEFAULTS: Dict[str, object] = {
+    "topology": "rmat",
+    "scale": 7,
+    "algorithm": "PR",
+    "engine": "graphbolt",
+    "backend": "serial",
+    "scenario": "uniform",
+    "admission": "none",
+    "faults": "none",
+    "batch_size": 20,
+    "num_batches": 2,
+    "iterations": 10,
+    "delete_fraction": 0.3,
+    "edge_factor": 4,
+    "seed": 0,
+}
+
+TOPOLOGIES = ("rmat", "ws", "er", "paper")
+ENGINES = ("ligra", "gbreset", "graphbolt")
+SCENARIOS = ("uniform", "hi", "lo", "hotspot_storm")
+ADMISSIONS = ("none", "block", "shed-oldest", "coalesce")
+
+#: Timing percentiles reported per run (plus mean/total/max).
+WALL_PERCENTILES = (50, 90, 99)
+
+
+class MatrixError(ValueError):
+    """A run table failed validation."""
+
+
+# ----------------------------------------------------------------------
+# Run-table model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully resolved cell of the matrix."""
+
+    run_id: str
+    config: Dict[str, object]
+
+    @property
+    def hash(self) -> str:
+        return config_hash(self.config)
+
+
+@dataclass
+class RunTable:
+    """A parsed, validated YAML run table."""
+
+    area: str
+    path: str
+    schema: int = SCHEMA_VERSION
+    title: str = ""
+    axes: Dict[str, List[object]] = field(default_factory=dict)
+    fixed: Dict[str, object] = field(default_factory=dict)
+    exclude: List[Dict[str, object]] = field(default_factory=list)
+    gate: Dict[str, object] = field(default_factory=dict)
+    driver: Optional[str] = None
+    driver_fixed: Dict[str, object] = field(default_factory=dict)
+
+    def runs(self) -> List[RunSpec]:
+        return expand(self)
+
+
+def matrices_dir() -> str:
+    """``benchmarks/matrices/`` at the repository root."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )))
+    return os.path.join(here, "benchmarks", "matrices")
+
+
+def _resolve_table_path(name_or_path: str) -> str:
+    if os.path.sep in name_or_path or name_or_path.endswith(".yaml"):
+        return name_or_path
+    return os.path.join(matrices_dir(), f"{name_or_path}.yaml")
+
+
+def load_table(name_or_path: str) -> RunTable:
+    """Parse and validate a run table (name under ``benchmarks/matrices``
+    or an explicit path)."""
+    import yaml
+
+    path = _resolve_table_path(name_or_path)
+    if not os.path.exists(path):
+        raise MatrixError(f"run table not found: {path}")
+    with open(path) as handle:
+        raw = yaml.safe_load(handle)
+    if not isinstance(raw, dict):
+        raise MatrixError(f"{path}: run table must be a mapping")
+    schema = raw.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise MatrixError(
+            f"{path}: unsupported schema {schema!r} "
+            f"(this build reads schema {SCHEMA_VERSION})"
+        )
+    area = raw.get("area")
+    if not isinstance(area, str) or not area:
+        raise MatrixError(f"{path}: 'area' must be a non-empty string")
+    table = RunTable(
+        area=area,
+        path=path,
+        schema=schema,
+        title=str(raw.get("title", "")),
+        axes={str(k): list(v) for k, v in (raw.get("axes") or {}).items()},
+        fixed=dict(raw.get("fixed") or {}),
+        exclude=[dict(rule) for rule in (raw.get("exclude") or [])],
+        gate=dict(raw.get("gate") or {}),
+        driver=raw.get("driver"),
+        driver_fixed=dict(raw.get("driver_fixed") or {}),
+    )
+    if table.driver is not None:
+        if table.driver not in DRIVER_TABLES:
+            raise MatrixError(
+                f"{path}: unknown driver {table.driver!r} "
+                f"(choose from {sorted(DRIVER_TABLES)})"
+            )
+        return table
+    _validate_axes(table)
+    # Expansion performs the per-run semantic checks (engine/serving
+    # compatibility), so a bad table fails at load time, not run time.
+    expand(table)
+    return table
+
+
+def _validate_axes(table: RunTable) -> None:
+    for section_name, section in (("axes", table.axes),
+                                  ("fixed", table.fixed)):
+        for key in section:
+            if key not in AXIS_ORDER:
+                raise MatrixError(
+                    f"{table.path}: unknown {section_name} key {key!r} "
+                    f"(choose from {list(AXIS_ORDER)})"
+                )
+    for key, values in table.axes.items():
+        if not values:
+            raise MatrixError(f"{table.path}: axis {key!r} is empty")
+        if key in table.fixed:
+            raise MatrixError(
+                f"{table.path}: {key!r} appears in both axes and fixed"
+            )
+    for rule in table.exclude:
+        for key in rule:
+            if key not in AXIS_ORDER:
+                raise MatrixError(
+                    f"{table.path}: exclude rule uses unknown key {key!r}"
+                )
+
+
+def _check_value(table_path: str, key: str, value: object) -> None:
+    """Validate one resolved config value against the vocabulary."""
+    if key == "topology" and value not in TOPOLOGIES:
+        raise MatrixError(
+            f"{table_path}: topology {value!r} not in {TOPOLOGIES}")
+    if key == "engine" and value not in ENGINES:
+        raise MatrixError(
+            f"{table_path}: engine {value!r} not in {ENGINES}")
+    if key == "scenario" and value not in SCENARIOS:
+        raise MatrixError(
+            f"{table_path}: scenario {value!r} not in {SCENARIOS}")
+    if key == "admission" and value not in ADMISSIONS:
+        raise MatrixError(
+            f"{table_path}: admission {value!r} not in {ADMISSIONS}")
+    if key == "backend":
+        _parse_backend(str(value))
+    if key == "faults":
+        _parse_faults(str(value))
+    if key in ("batch_size", "num_batches", "iterations", "edge_factor",
+               "seed") and not isinstance(value, int):
+        raise MatrixError(f"{table_path}: {key} must be an integer, "
+                          f"got {value!r}")
+
+
+def _parse_backend(spec: str) -> ExecutionBackend:
+    name, _, suffix = spec.partition(":")
+    if name == "serial":
+        return SerialBackend()
+    if name == "sharded":
+        return ShardedBackend(int(suffix) if suffix else 4)
+    raise MatrixError(f"unknown backend {spec!r}; "
+                      f"use 'serial' or 'sharded[:P]'")
+
+
+def _parse_faults(spec: str) -> int:
+    """``none`` -> 0, ``poison:<N>`` -> N (poison cadence in batches)."""
+    if spec == "none":
+        return 0
+    name, _, suffix = spec.partition(":")
+    if name == "poison" and suffix.isdigit() and int(suffix) > 0:
+        return int(suffix)
+    raise MatrixError(f"unknown fault plan {spec!r}; "
+                      f"use 'none' or 'poison:<N>'")
+
+
+def expand(table: RunTable) -> List[RunSpec]:
+    """Cartesian-expand the axes into deterministic run specs."""
+    if table.driver is not None:
+        raise MatrixError(
+            f"{table.path}: driver tables are not expanded; use "
+            f"run_driver({table.driver!r})"
+        )
+    axis_names = [key for key in AXIS_ORDER if key in table.axes]
+    extra = [key for key in table.axes if key not in AXIS_ORDER]
+    if extra:
+        raise MatrixError(f"{table.path}: unknown axes {extra}")
+    specs: List[RunSpec] = []
+    for combo in itertools.product(
+            *(table.axes[name] for name in axis_names)):
+        config = dict(DEFAULTS)
+        config.update(table.fixed)
+        config.update(dict(zip(axis_names, combo)))
+        config = {key: config[key] for key in AXIS_ORDER}
+        if any(all(config.get(k) == v for k, v in rule.items())
+               for rule in table.exclude):
+            continue
+        for key, value in config.items():
+            _check_value(table.path, key, value)
+        _check_run_semantics(table.path, config)
+        run_id = "/".join(str(config[name]) for name in axis_names)
+        specs.append(RunSpec(run_id=run_id, config=config))
+    if not specs:
+        raise MatrixError(f"{table.path}: matrix expanded to zero runs")
+    ids = [spec.run_id for spec in specs]
+    if len(set(ids)) != len(ids):
+        raise MatrixError(f"{table.path}: duplicate run ids in expansion")
+    return specs
+
+
+def _check_run_semantics(table_path: str, config: Dict) -> None:
+    serving = (config["admission"] != "none"
+               or config["faults"] != "none")
+    if serving and config["engine"] != "graphbolt":
+        raise MatrixError(
+            f"{table_path}: admission/fault runs exercise the serving "
+            f"loop, which is GraphBolt-based; engine "
+            f"{config['engine']!r} is invalid there (add an exclude "
+            f"rule)"
+        )
+    if config["topology"] == "paper":
+        if config["scale"] not in generators.PAPER_GRAPH_SCALES:
+            raise MatrixError(
+                f"{table_path}: paper topology needs scale in "
+                f"{sorted(generators.PAPER_GRAPH_SCALES)}, "
+                f"got {config['scale']!r}"
+            )
+    elif not isinstance(config["scale"], int):
+        raise MatrixError(
+            f"{table_path}: scale must be an integer for "
+            f"{config['topology']!r}, got {config['scale']!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Hashing and canonicalisation
+# ----------------------------------------------------------------------
+def _canonical_json(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def config_hash(obj) -> str:
+    """Stable short hash of any JSON-serialisable configuration."""
+    return hashlib.sha256(
+        _canonical_json(obj).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def canonical_payload(payload: Dict) -> str:
+    """The payload as canonical JSON with every timing section removed.
+
+    Two runs of the same YAML + seed must agree byte-for-byte on this
+    string (the determinism pin); only the ``timing`` subtrees and the
+    rendered table rows (which embed rounded seconds) may differ.
+    """
+    def strip(obj):
+        if isinstance(obj, dict):
+            return {
+                key: strip(value) for key, value in obj.items()
+                if key not in ("timing", "rows")
+            }
+        if isinstance(obj, list):
+            return [strip(item) for item in obj]
+        return obj
+
+    return _canonical_json(strip(payload))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _build_graph(config: Dict) -> CSRGraph:
+    topology = config["topology"]
+    scale = config["scale"]
+    seed = config["seed"]
+    if topology == "paper":
+        return generators.paper_graph(str(scale), weighted=True)
+    if topology == "rmat":
+        return generators.rmat(int(scale), config["edge_factor"],
+                               seed=seed, weighted=True)
+    if topology == "ws":
+        return generators.watts_strogatz(int(scale),
+                                         config["edge_factor"],
+                                         seed=seed, weighted=True)
+    if topology == "er":
+        vertices = int(scale)
+        return generators.erdos_renyi(
+            vertices, config["edge_factor"] * vertices,
+            seed=seed, weighted=True,
+        )
+    raise MatrixError(f"unknown topology {topology!r}")
+
+
+def _build_batches(config: Dict, graph: CSRGraph) -> List[MutationBatch]:
+    from repro.bench.workloads import targeted_batch, uniform_batch
+
+    scenario = config["scenario"]
+    seed = config["seed"]
+    count = config["num_batches"]
+    size = config["batch_size"]
+    if scenario == "hotspot_storm":
+        return hotspot_storm(graph, count, size,
+                             delete_fraction=config["delete_fraction"],
+                             seed=seed)
+    if scenario in ("hi", "lo"):
+        return [
+            targeted_batch(graph, size, scenario,
+                           delete_fraction=config["delete_fraction"],
+                           seed=seed + index)
+            for index in range(count)
+        ]
+    return [
+        uniform_batch(graph, size,
+                      delete_fraction=config["delete_fraction"],
+                      seed=seed + index)
+        for index in range(count)
+    ]
+
+
+def _wall_summary(per_batch: Sequence[float],
+                  setup_seconds: float) -> Dict[str, float]:
+    arr = np.asarray(per_batch, dtype=float)
+    if arr.size == 0:
+        arr = np.zeros(1)
+    summary = {
+        f"p{q}": round(float(np.percentile(arr, q)), 6)
+        for q in WALL_PERCENTILES
+    }
+    summary.update({
+        "mean": round(float(arr.mean()), 6),
+        "max": round(float(arr.max()), 6),
+        "total": round(float(arr.sum()), 6),
+        "setup": round(float(setup_seconds), 6),
+    })
+    return summary
+
+
+def _execute_engine_run(config: Dict, graph: CSRGraph,
+                        batches: List[MutationBatch]) -> Tuple[Dict, Dict]:
+    """One engine-mode run; returns ``(work, timing)``."""
+    from repro.bench.experiments import BENCH_ALGORITHMS
+    from repro.bench.harness import (
+        DeltaRunner,
+        GraphBoltRunner,
+        LigraRunner,
+        run_stream,
+    )
+    from repro.runtime.exec import use_backend
+
+    runner_cls = {
+        "ligra": LigraRunner,
+        "gbreset": DeltaRunner,
+        "graphbolt": GraphBoltRunner,
+    }[config["engine"]]
+    factory = BENCH_ALGORITHMS[config["algorithm"]]
+    runner = runner_cls(factory, config["iterations"])
+    backend = _parse_backend(str(config["backend"]))
+    with use_backend(backend), scoped_registry() as registry:
+        result = run_stream(runner, graph, batches)
+        metrics = result.final_metrics
+        histogram = registry.histogram(f"{runner.name}.batch_seconds")
+        work = {
+            "edge_computations": int(metrics.edge_computations),
+            "vertex_computations": int(metrics.vertex_computations),
+            "iterations": int(metrics.iterations),
+            "refinement_iterations": int(metrics.refinement_iterations),
+            "hybrid_iterations": int(metrics.hybrid_iterations),
+            "shard_imbalance": round(
+                load_imbalance(metrics.shard_loads), 6),
+            "num_shards": backend.num_shards,
+            "batches_applied": len(result.batches),
+        }
+        timing = {
+            "wall_seconds": _wall_summary(
+                [batch.total_seconds for batch in result.batches],
+                result.setup_seconds,
+            ),
+            "compute_seconds": round(result.total_apply_seconds, 6),
+            "batch_seconds_histogram_count": histogram.count,
+        }
+    return work, timing
+
+
+def _execute_serving_run(config: Dict, graph: CSRGraph,
+                         batches: List[MutationBatch]
+                         ) -> Tuple[Dict, Dict]:
+    """One serving-mode run (admission control and/or fault plan)."""
+    from repro.bench.experiments import BENCH_ALGORITHMS
+    from repro.recovery import RecoveryManager
+    from repro.serving.resilience import (
+        BreakerConfig,
+        ResilientAnalyticsServer,
+    )
+    from repro.serving.server import StreamingAnalyticsServer
+    from repro.testing import faults as fault_mod
+
+    poison_every = _parse_faults(str(config["faults"]))
+    policy = (config["admission"] if config["admission"] != "none"
+              else "block")
+    with tempfile.TemporaryDirectory() as state_dir, \
+            scoped_registry(), \
+            fault_mod.scoped_failpoints() as failpoints:
+        recovery = None
+        if poison_every:
+            recovery = RecoveryManager(state_dir, checkpoint_every=8)
+        server = StreamingAnalyticsServer(
+            BENCH_ALGORITHMS[config["algorithm"]], graph,
+            approx_iterations=config["iterations"], recovery=recovery,
+        )
+        resilient = ResilientAnalyticsServer(
+            server,
+            queue_capacity=8,
+            admission=policy,
+            # Count-based signals only: the latency SLO is timing-driven
+            # and would make the work section nondeterministic.
+            breaker=BreakerConfig(quarantine_threshold=2,
+                                  cooldown_submits=2),
+        )
+        per_batch: List[float] = []
+        start_all = time.perf_counter()
+        for index, batch in enumerate(batches):
+            if poison_every and (index + 1) % poison_every == 0:
+                failpoints.arm(
+                    "engine.refine", kind="fault",
+                    hit=failpoints.hit_count("engine.refine") + 1,
+                )
+            start = time.perf_counter()
+            resilient.submit(batch)
+            per_batch.append(time.perf_counter() - start)
+        resilient.drain()
+        setup_seconds = time.perf_counter() - start_all
+        health = resilient.health()
+        work = {
+            "submitted": health.submitted,
+            "applied": health.applied,
+            "shed": health.shed,
+            "coalesced": health.coalesced,
+            "deferred": health.deferred,
+            "quarantine_count": health.quarantine_count,
+            "restores": health.restores,
+            "breaker_state": health.breaker_state,
+            "queue_depth": health.queue_depth,
+            "staleness_batches": health.staleness_batches,
+            "admission_policy": health.admission_policy,
+        }
+        timing = {
+            "wall_seconds": _wall_summary(per_batch, 0.0),
+            "drain_seconds": round(
+                setup_seconds - float(np.sum(per_batch)), 6),
+        }
+        if recovery is not None:
+            recovery.close()
+    return work, timing
+
+
+def execute_run(spec: RunSpec) -> Dict:
+    """Execute one cell and return its payload entry."""
+    config = spec.config
+    graph = _build_graph(config)
+    batches = _build_batches(config, graph)
+    serving = (config["admission"] != "none"
+               or config["faults"] != "none")
+    if serving:
+        work, timing = _execute_serving_run(config, graph, batches)
+    else:
+        work, timing = _execute_engine_run(config, graph, batches)
+    work["graph_vertices"] = graph.num_vertices
+    work["graph_edges"] = graph.num_edges
+    work["mutations"] = sum(len(batch) for batch in batches)
+    return {
+        "id": spec.run_id,
+        "mode": "serving" if serving else "engine",
+        "config": dict(config),
+        "config_hash": spec.hash,
+        "work": work,
+        "timing": timing,
+    }
+
+
+def run_matrix(table: RunTable,
+               progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Execute a whole run table and assemble its ``BENCH_*`` payload."""
+    specs = expand(table)
+    runs = []
+    for spec in specs:
+        if progress is not None:
+            progress(spec.run_id)
+        runs.append(execute_run(spec))
+    headers = ["Run", "Mode", "EdgeComp", "p50 s", "p99 s", "Total s"]
+    rows = []
+    for run in runs:
+        wall = run["timing"]["wall_seconds"]
+        rows.append([
+            run["id"], run["mode"],
+            run["work"].get("edge_computations",
+                            run["work"].get("applied", 0)),
+            wall["p50"], wall["p99"], wall["total"],
+        ])
+    matrix_config = {
+        "axes": table.axes,
+        "fixed": table.fixed,
+        "exclude": table.exclude,
+        "defaults": DEFAULTS,
+        "schema": table.schema,
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "area": table.area,
+        "matrix": os.path.basename(table.path),
+        "title": table.title or f"Experiment matrix '{table.area}'",
+        "config_hash": config_hash(matrix_config),
+        "seed": table.fixed.get("seed", DEFAULTS["seed"]),
+        "gate": table.gate,
+        "num_runs": len(runs),
+        "runs": runs,
+        "headers": headers,
+        "rows": rows,
+    }
+
+
+def payload_filename(area: str) -> str:
+    return f"BENCH_{area}.json"
+
+
+# ----------------------------------------------------------------------
+# Schema validation for emitted payloads
+# ----------------------------------------------------------------------
+_RUN_REQUIRED = ("id", "mode", "config", "config_hash", "work", "timing")
+_TOP_REQUIRED = ("schema_version", "area", "matrix", "title",
+                 "config_hash", "seed", "num_runs", "runs", "headers",
+                 "rows")
+
+
+def validate_payload(payload: Dict) -> None:
+    """Check a ``BENCH_*`` payload against the versioned schema.
+
+    Raises :class:`MatrixError` naming the first offending field.
+    """
+    if not isinstance(payload, dict):
+        raise MatrixError("payload must be a mapping")
+    for key in _TOP_REQUIRED:
+        if key not in payload:
+            raise MatrixError(f"payload missing key {key!r}")
+    if payload["schema_version"] != SCHEMA_VERSION:
+        raise MatrixError(
+            f"payload schema_version {payload['schema_version']!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    if not isinstance(payload["runs"], list) or not payload["runs"]:
+        raise MatrixError("payload 'runs' must be a non-empty list")
+    if payload["num_runs"] != len(payload["runs"]):
+        raise MatrixError("payload num_runs disagrees with len(runs)")
+    seen = set()
+    for index, run in enumerate(payload["runs"]):
+        for key in _RUN_REQUIRED:
+            if key not in run:
+                raise MatrixError(f"runs[{index}] missing key {key!r}")
+        if run["id"] in seen:
+            raise MatrixError(f"duplicate run id {run['id']!r}")
+        seen.add(run["id"])
+        if run["mode"] not in ("engine", "serving"):
+            raise MatrixError(
+                f"runs[{index}] mode {run['mode']!r} invalid")
+        if run["config_hash"] != config_hash(run["config"]):
+            raise MatrixError(
+                f"runs[{index}] config_hash does not match its config")
+        wall = run["timing"].get("wall_seconds")
+        if not isinstance(wall, dict):
+            raise MatrixError(
+                f"runs[{index}] timing.wall_seconds missing")
+        for quantile in [f"p{q}" for q in WALL_PERCENTILES] + [
+                "mean", "max", "total"]:
+            if not isinstance(wall.get(quantile), (int, float)):
+                raise MatrixError(
+                    f"runs[{index}] wall_seconds.{quantile} must be a "
+                    f"number"
+                )
+        for key, value in run["work"].items():
+            if not isinstance(value, (int, float, str)):
+                raise MatrixError(
+                    f"runs[{index}] work.{key} must be scalar, "
+                    f"got {type(value).__name__}"
+                )
+    # The canonical form must round-trip: json-serialisable throughout.
+    canonical_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Driver tables: the legacy Table 5/6/9 grids, now declarative
+# ----------------------------------------------------------------------
+#: axis-name -> driver-kwarg translation per legacy driver.
+DRIVER_TABLES: Dict[str, Dict[str, str]] = {
+    "table5": {"algorithm": "algorithms", "graph": "graphs",
+               "batch_size": "batch_sizes"},
+    "table6": {"algorithm": "algorithms", "cores": "cores"},
+    "table9": {"algorithm": "algorithms", "graph": "graphs"},
+}
+
+
+def driver_kwargs(name_or_path: str) -> Dict[str, object]:
+    """Resolve a driver run table into the driver's keyword arguments."""
+    table = load_table(name_or_path)
+    if table.driver is None:
+        raise MatrixError(f"{table.path}: not a driver table")
+    mapping = DRIVER_TABLES[table.driver]
+    kwargs: Dict[str, object] = {}
+    for axis, values in table.axes.items():
+        if axis not in mapping:
+            raise MatrixError(
+                f"{table.path}: driver {table.driver!r} does not take "
+                f"axis {axis!r} (choose from {sorted(mapping)})"
+            )
+        kwargs[mapping[axis]] = list(values)
+    kwargs.update(table.driver_fixed)
+    return kwargs
+
+
+def run_driver(name_or_path: str, **overrides) -> Dict:
+    """Run a legacy paper driver with its YAML-declared grid."""
+    from repro.bench import experiments as exp
+
+    table = load_table(name_or_path)
+    if table.driver is None:
+        raise MatrixError(f"{table.path}: not a driver table")
+    kwargs = driver_kwargs(name_or_path)
+    kwargs.update(overrides)
+    driver_fn = {
+        "table5": exp.experiment_table5,
+        "table6": exp.experiment_table6,
+        "table9": exp.experiment_table9,
+    }[table.driver]
+    return driver_fn(**kwargs)

@@ -11,6 +11,13 @@ Commands
 ``trace``  replay a workload under the tracer and render a per-batch
            phase-time breakdown.
 ``bench``  alias for ``python -m repro.bench`` (paper experiments).
+``experiment``  declarative experiment matrix: expand a YAML run table
+           (topology x scale x engine x backend x scenario x admission
+           x fault plan) into deterministic runs, emit the
+           schema-versioned ``BENCH_<area>.json`` payload plus a
+           paper-style table, and gate it against the committed
+           baseline (``--gate report|enforce|off``; see
+           ``docs/testing.md`` "Experiment matrix").
 ``fuzz``   differential fuzzing: drive seeded adversarial workloads
            through every engine and cross-check per-batch
            BSP-equivalence (see ``docs/testing.md``).  ``--trace-out``
@@ -267,6 +274,69 @@ def _cmd_bench(args) -> int:
     from repro.bench.__main__ import main as bench_main
 
     return bench_main(["repro.bench"] + args.experiments)
+
+
+def _cmd_experiment(args) -> int:
+    import json as _json
+    import os
+
+    from repro.bench import gate as gate_mod
+    from repro.bench import matrix as matrix_mod
+    from repro.bench.reporting import results_dir
+
+    if args.list:
+        for name in sorted(os.listdir(matrix_mod.matrices_dir())):
+            if name.endswith(".yaml"):
+                print(name[:-len(".yaml")])
+        return 0
+    if not args.matrix:
+        print("experiment needs --matrix PATH (or --list)")
+        return 2
+    table = matrix_mod.load_table(args.matrix)
+    if table.driver is not None:
+        payload = matrix_mod.run_driver(args.matrix)
+        from repro.bench.experiments import render_table
+        print(render_table(payload))
+        path = os.path.join(results_dir(),
+                            matrix_mod.payload_filename(table.area))
+        with open(path, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True,
+                       default=str)
+        print(f"[driver payload -> {path}]")
+        return 0
+    payload = matrix_mod.run_matrix(
+        table, progress=lambda run_id: print(f"  run {run_id}"))
+    matrix_mod.validate_payload(payload)
+    print(format_table(payload["headers"], payload["rows"],
+                       title=payload["title"]))
+    out_dir = args.out_dir or results_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir,
+                        matrix_mod.payload_filename(payload["area"]))
+    with open(path, "w") as handle:
+        _json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[payload -> {path}]")
+    if args.update_baseline:
+        baseline_path = gate_mod.save_baseline(
+            payload, args.baseline_dir)
+        print(f"[baseline refreshed -> {baseline_path}]")
+        return 0
+    thresholds = None
+    if args.threshold is not None:
+        thresholds = gate_mod.GateThresholds(work=args.threshold,
+                                             time=args.threshold)
+    report = gate_mod.run_gate(payload, mode=args.gate,
+                               thresholds=thresholds,
+                               baseline_directory=args.baseline_dir)
+    if report is None:
+        if args.gate != "off":
+            print(f"[no baseline for area {payload['area']!r}; "
+                  f"run with --update-baseline to start the "
+                  f"trajectory]")
+        return 0
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_serve(args) -> int:
@@ -536,6 +606,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("experiments", nargs="*",
                        help="experiment names (default: all)")
     bench.set_defaults(handler=_cmd_bench)
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="declarative experiment matrix + perf-trajectory gate",
+    )
+    experiment.add_argument("--matrix", default=None,
+                            help="run-table YAML path, or a name under "
+                                 "benchmarks/matrices/")
+    experiment.add_argument("--list", action="store_true",
+                            help="list the bundled run tables and exit")
+    experiment.add_argument("--out-dir", default=None,
+                            help="directory for the emitted "
+                                 "BENCH_<area>.json (default: "
+                                 "benchmarks/results/)")
+    experiment.add_argument("--baseline-dir", default=None,
+                            help="committed-baseline directory "
+                                 "(default: benchmarks/baselines/)")
+    experiment.add_argument("--gate", default="report",
+                            choices=["off", "report", "enforce"],
+                            help="regression-gate mode: report "
+                                 "(default) prints verdicts but always "
+                                 "exits 0; enforce exits 1 on any "
+                                 "regression beyond threshold")
+    experiment.add_argument("--threshold", type=float, default=None,
+                            help="override both gate thresholds with "
+                                 "one relative slowdown bound")
+    experiment.add_argument("--update-baseline", action="store_true",
+                            help="write this payload as the new "
+                                 "committed baseline instead of gating")
+    experiment.set_defaults(handler=_cmd_experiment)
 
     serve = sub.add_parser(
         "serve",

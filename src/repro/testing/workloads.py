@@ -20,6 +20,9 @@ paper's per-run validation, section 5.1, is designed to catch):
                     edges (stale stream records);
 - ``empty``      -- a batch with no mutations at all;
 - ``delete_heavy`` -- removal of a large fraction of live edges;
+- ``hotspot_storm`` -- every mutation concentrated in one contiguous
+                    community block (the adversarial regime of the
+                    bench matrix's ``hotspot_storm`` scenario);
 - ``uniform``    -- a plain random add/delete mix (the control).
 """
 
@@ -265,6 +268,32 @@ def _gen_empty(rng, shadow: _Shadow) -> MutationBatch:
     return MutationBatch.empty()
 
 
+def _gen_hotspot_storm(rng, shadow: _Shadow) -> MutationBatch:
+    """All mutations inside one community block (see
+    :func:`repro.graph.stream.hotspot_community`): additions connect
+    block-internal pairs, deletions remove block-internal live edges."""
+    n = shadow.num_vertices
+    block = max(2, n // 4)
+    lo = int(rng.integers(0, max(n - block, 0) + 1))
+    hi = min(lo + block, n)
+    count = int(rng.integers(2, 9))
+    adds = []
+    for _ in range(count):
+        u = int(rng.integers(lo, hi))
+        v = int(rng.integers(lo, hi))
+        if u != v:
+            adds.append((u, v))
+    inside = [
+        (u, v) for u, v in shadow.live_edges()
+        if lo <= u < hi and lo <= v < hi
+    ]
+    num_dels = min(int(rng.integers(0, 4)), len(inside))
+    dels = [inside[i] for i in rng.choice(len(inside), size=num_dels,
+                                          replace=False)] if num_dels else []
+    return MutationBatch.from_edges(additions=adds, deletions=dels,
+                                    add_weights=_weights(rng, len(adds)))
+
+
 def _gen_delete_heavy(rng, shadow: _Shadow) -> MutationBatch:
     live = shadow.live_edges()
     num_dels = min(len(live), max(1, len(live) // 2))
@@ -280,6 +309,7 @@ BATCH_KINDS: Dict[str, Callable] = {
     "dirty": _gen_dirty,
     "empty": _gen_empty,
     "delete_heavy": _gen_delete_heavy,
+    "hotspot_storm": _gen_hotspot_storm,
 }
 
 

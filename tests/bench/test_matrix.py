@@ -1,0 +1,315 @@
+"""Tests for the declarative experiment matrix (run tables).
+
+Covers the YAML loader/expander validation surface, the schema checks
+on emitted ``BENCH_*`` payloads, the determinism pin (same YAML + seed
+produces a byte-identical payload modulo timings), the hotspot_storm
+mutation regime, and the equivalence pins for the legacy Table 5/6/9
+drivers now routed through the run-table loader.
+"""
+
+import copy
+
+import pytest
+
+from repro.bench.experiments import (
+    experiment_table5,
+    experiment_table9,
+)
+from repro.bench.matrix import (
+    DEFAULTS,
+    MatrixError,
+    SCHEMA_VERSION,
+    canonical_payload,
+    driver_kwargs,
+    expand,
+    load_table,
+    payload_filename,
+    run_driver,
+    run_matrix,
+    validate_payload,
+)
+from repro.graph.generators import rmat
+from repro.graph.stream import hotspot_community, hotspot_storm
+from repro.testing.workloads import BATCH_KINDS
+
+
+def write_table(tmp_path, text, name="table.yaml"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+TINY_TABLE = """
+schema: 1
+area: tiny
+title: "Tiny matrix for tests"
+axes:
+  engine: [ligra, graphbolt]
+  scenario: [uniform, hotspot_storm]
+fixed:
+  topology: rmat
+  scale: 5
+  algorithm: PR
+  batch_size: 5
+  num_batches: 2
+  iterations: 4
+  seed: 3
+exclude:
+  - engine: ligra
+    scenario: hotspot_storm
+gate:
+  work_threshold: 0.05
+  time_threshold: 1.0
+"""
+
+SERVING_TABLE = """
+schema: 1
+area: tinyserve
+axes:
+  admission: [coalesce]
+  faults: [none, "poison:2"]
+fixed:
+  topology: rmat
+  scale: 5
+  algorithm: PR
+  engine: graphbolt
+  batch_size: 5
+  num_batches: 3
+  iterations: 4
+  seed: 9
+"""
+
+
+@pytest.fixture(scope="module")
+def tiny_payload(tmp_path_factory):
+    path = write_table(tmp_path_factory.mktemp("matrix"), TINY_TABLE)
+    return run_matrix(load_table(path))
+
+
+class TestLoader:
+    def test_bundled_tables_load(self):
+        for name in ("smoke", "core", "sharded"):
+            table = load_table(name)
+            assert table.area == name
+            assert table.runs()
+
+    def test_unknown_axis_key(self, tmp_path):
+        path = write_table(tmp_path, """
+schema: 1
+area: bad
+axes:
+  flavour: [vanilla]
+""")
+        with pytest.raises(MatrixError, match="unknown axes key"):
+            load_table(path)
+
+    def test_bad_vocabulary_value(self, tmp_path):
+        path = write_table(tmp_path, """
+schema: 1
+area: bad
+axes:
+  engine: [turbopascal]
+""")
+        with pytest.raises(MatrixError, match="engine"):
+            load_table(path)
+
+    def test_unsupported_schema(self, tmp_path):
+        path = write_table(tmp_path, "schema: 99\narea: bad\n")
+        with pytest.raises(MatrixError, match="schema"):
+            load_table(path)
+
+    def test_serving_requires_graphbolt(self, tmp_path):
+        path = write_table(tmp_path, """
+schema: 1
+area: bad
+axes:
+  engine: [ligra]
+fixed:
+  admission: coalesce
+""")
+        with pytest.raises(MatrixError, match="GraphBolt-based"):
+            load_table(path)
+
+    def test_axis_and_fixed_conflict(self, tmp_path):
+        path = write_table(tmp_path, """
+schema: 1
+area: bad
+axes:
+  engine: [ligra]
+fixed:
+  engine: graphbolt
+""")
+        with pytest.raises(MatrixError, match="both axes and fixed"):
+            load_table(path)
+
+    def test_missing_table(self):
+        with pytest.raises(MatrixError, match="not found"):
+            load_table("no_such_matrix")
+
+
+class TestExpansion:
+    def test_exclude_and_defaults(self, tmp_path):
+        path = write_table(tmp_path, TINY_TABLE)
+        specs = expand(load_table(path))
+        # 2 engines x 2 scenarios minus the excluded ligra/hotspot cell.
+        assert [spec.run_id for spec in specs] == [
+            "ligra/uniform",
+            "graphbolt/uniform",
+            "graphbolt/hotspot_storm",
+        ]
+        for spec in specs:
+            # Unlisted knobs fall back to the documented defaults.
+            assert spec.config["delete_fraction"] == (
+                DEFAULTS["delete_fraction"])
+            assert spec.config["scale"] == 5
+
+    def test_run_ids_use_axis_order(self):
+        specs = expand(load_table("smoke"))
+        assert len(specs) == 10
+        assert len({spec.run_id for spec in specs}) == 10
+
+
+class TestPayloadSchema:
+    def test_valid_payload(self, tiny_payload):
+        validate_payload(tiny_payload)
+        assert tiny_payload["schema_version"] == SCHEMA_VERSION
+        assert tiny_payload["num_runs"] == 3
+        assert payload_filename(tiny_payload["area"]) == "BENCH_tiny.json"
+
+    @pytest.mark.parametrize("breaker, match", [
+        (lambda p: p.pop("runs"), "missing"),
+        (lambda p: p.update(schema_version=99), "schema_version"),
+        (lambda p: p.update(num_runs=7), "num_runs"),
+        (lambda p: p["runs"][0].update(config_hash="0" * 16),
+         "config_hash"),
+        (lambda p: p["runs"][0]["timing"]["wall_seconds"].pop("p99"),
+         "p99"),
+        (lambda p: p["runs"][0].update(mode="psychic"), "mode"),
+    ])
+    def test_broken_payloads_rejected(self, tiny_payload, breaker, match):
+        broken = copy.deepcopy(tiny_payload)
+        breaker(broken)
+        with pytest.raises(MatrixError, match=match):
+            validate_payload(broken)
+
+
+class TestDeterminismPin:
+    def test_engine_matrix_byte_identical_modulo_timings(self, tmp_path):
+        path = write_table(tmp_path, TINY_TABLE)
+        table = load_table(path)
+        first = run_matrix(table)
+        second = run_matrix(table)
+        assert canonical_payload(first) == canonical_payload(second)
+
+    def test_serving_matrix_byte_identical_modulo_timings(self, tmp_path):
+        path = write_table(tmp_path, SERVING_TABLE)
+        table = load_table(path)
+        first = run_matrix(table)
+        second = run_matrix(table)
+        assert first["runs"][0]["mode"] == "serving"
+        assert canonical_payload(first) == canonical_payload(second)
+
+    def test_canonical_payload_strips_only_timings(self, tiny_payload):
+        noisy = copy.deepcopy(tiny_payload)
+        noisy["runs"][0]["timing"]["wall_seconds"]["total"] = 123.456
+        assert canonical_payload(noisy) == canonical_payload(tiny_payload)
+        changed = copy.deepcopy(tiny_payload)
+        changed["runs"][0]["work"]["edge_computations"] = 10 ** 9
+        assert canonical_payload(changed) != canonical_payload(
+            tiny_payload)
+
+
+class TestHotspotStorm:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return rmat(scale=7, edge_factor=6, seed=21, weighted=True)
+
+    def test_all_mutations_inside_community(self, graph):
+        lo, hi = hotspot_community(graph.num_vertices, seed=17)
+        batches = hotspot_storm(graph, num_batches=4, batch_size=20,
+                                seed=17)
+        assert len(batches) == 4
+        for batch in batches:
+            assert batch.num_additions > 0
+            for u, v, _ in batch.additions():
+                assert lo <= u < hi and lo <= v < hi
+            for u, v in batch.deletions():
+                assert lo <= u < hi and lo <= v < hi
+
+    def test_deterministic(self, graph):
+        def fingerprint(batch):
+            return (sorted((u, v) for u, v, _ in batch.additions()),
+                    sorted(batch.deletions()))
+
+        first = hotspot_storm(graph, num_batches=3, batch_size=15, seed=5)
+        second = hotspot_storm(graph, num_batches=3, batch_size=15, seed=5)
+        assert list(map(fingerprint, first)) == list(
+            map(fingerprint, second))
+        other = hotspot_storm(graph, num_batches=3, batch_size=15, seed=6)
+        assert list(map(fingerprint, first)) != list(
+            map(fingerprint, other))
+
+    def test_deletions_target_live_edges(self, graph):
+        live = set(zip(*[arr.tolist() for arr in graph.all_edges()[:2]]))
+        batches = hotspot_storm(graph, num_batches=3, batch_size=30,
+                                delete_fraction=0.5, seed=2)
+        for batch in batches:
+            for u, v in batch.deletions():
+                assert (u, v) in live
+            for u, v, _ in batch.additions():
+                if u != v:
+                    live.add((u, v))
+            for edge in batch.deletions():
+                live.discard(tuple(edge))
+
+    def test_fuzzer_kind_registered(self):
+        assert "hotspot_storm" in BATCH_KINDS
+
+
+class TestDriverEquivalence:
+    def test_table5_kwargs_match_legacy_defaults(self):
+        assert driver_kwargs("table5") == {
+            "algorithms": ["PR", "BP", "CF", "CoEM", "LP", "TC"],
+            "graphs": ["WK", "UK", "TW", "TT", "FT"],
+            "batch_sizes": [10, 100, 1000],
+            "num_batches": 2,
+            "seed": 5,
+        }
+
+    def test_table6_kwargs_match_legacy_defaults(self):
+        assert driver_kwargs("table6") == {
+            "algorithms": ["PR", "BP", "CF", "CoEM", "LP"],
+            "cores": [32, 96],
+            "batch_size": 100,
+            "seed": 66,
+        }
+
+    def test_table9_kwargs_match_legacy_defaults(self):
+        assert driver_kwargs("table9") == {
+            "algorithms": ["PR", "BP", "CF", "CoEM", "LP"],
+            "graphs": ["WK", "UK", "TW", "TT", "FT", "YH"],
+        }
+
+    def test_table9_payload_preserved(self):
+        via_matrix = run_driver("table9", algorithms=["PR"],
+                                graphs=["WK"])
+        direct = experiment_table9(algorithms=["PR"], graphs=["WK"])
+        # Table 9 measures memory, not time: payloads are fully
+        # deterministic and must match exactly.
+        assert via_matrix == direct
+
+    def test_table5_payload_preserved_modulo_timings(self):
+        kwargs = dict(algorithms=["PR"], graphs=["WK"],
+                      batch_sizes=[10], num_batches=1)
+        via_matrix = run_driver("table5", **kwargs)
+        direct = experiment_table5(**kwargs)
+        assert via_matrix["headers"] == direct["headers"]
+        assert set(via_matrix["cells"]) == set(direct["cells"])
+        for key, cell in via_matrix["cells"].items():
+            for engine, stats in cell.items():
+                assert stats["edges"] == (
+                    direct["cells"][key][engine]["edges"]), (key, engine)
+
+    def test_run_driver_rejects_generic_table(self):
+        with pytest.raises(MatrixError, match="not a driver table"):
+            run_driver("smoke")
