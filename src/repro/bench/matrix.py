@@ -8,8 +8,8 @@ muBench's 180-run experiment definition and stack_route_sim's
 
 - :func:`load_table` parses and validates a YAML run table whose
   ``axes`` (topology, scale, algorithm, engine, backend, scenario,
-  admission, faults, ...) are expanded as a cartesian product, minus
-  declared ``exclude`` combinations;
+  admission, faults, slo, ...) are expanded as a cartesian product,
+  minus declared ``exclude`` combinations;
 - :func:`run_matrix` executes every expanded run deterministically,
   scraping each through a scoped PR-2 metrics registry, and assembles a
   schema-versioned ``BENCH_<area>.json`` payload (config hash, seed,
@@ -75,8 +75,8 @@ SCHEMA_VERSION = 1
 #: Canonical config-key order; also the run-id segment order.
 AXIS_ORDER = (
     "topology", "scale", "algorithm", "engine", "backend", "scenario",
-    "admission", "faults", "batch_size", "num_batches", "iterations",
-    "delete_fraction", "edge_factor", "seed",
+    "admission", "faults", "slo", "batch_size", "num_batches",
+    "iterations", "delete_fraction", "edge_factor", "seed",
 )
 
 #: Per-key defaults merged under ``fixed``.
@@ -89,6 +89,7 @@ DEFAULTS: Dict[str, object] = {
     "scenario": "uniform",
     "admission": "none",
     "faults": "none",
+    "slo": "none",
     "batch_size": 20,
     "num_batches": 2,
     "iterations": 10,
@@ -247,6 +248,15 @@ def _check_value(table_path: str, key: str, value: object) -> None:
         _parse_backend(str(value))
     if key == "faults":
         _parse_faults(str(value))
+    if key == "slo" and value != "none":
+        from repro.obs.slo import resolve_slo_path
+
+        if not os.path.exists(resolve_slo_path(str(value))):
+            raise MatrixError(
+                f"{table_path}: slo {value!r} does not resolve to a "
+                f"file (a name under benchmarks/slos/ or a path), "
+                f"or 'none'"
+            )
     if key in ("batch_size", "num_batches", "iterations", "edge_factor",
                "seed") and not isinstance(value, int):
         raise MatrixError(f"{table_path}: {key} must be an integer, "
@@ -272,6 +282,14 @@ def _parse_faults(spec: str) -> int:
         return int(suffix)
     raise MatrixError(f"unknown fault plan {spec!r}; "
                       f"use 'none' or 'poison:<N>'")
+
+
+def _is_serving(config: Dict) -> bool:
+    """An slo plan implies the serving loop, like admission/faults do:
+    the observer attaches to the resilient server."""
+    return (config["admission"] != "none"
+            or config["faults"] != "none"
+            or config["slo"] != "none")
 
 
 def expand(table: RunTable) -> List[RunSpec]:
@@ -309,12 +327,11 @@ def expand(table: RunTable) -> List[RunSpec]:
 
 
 def _check_run_semantics(table_path: str, config: Dict) -> None:
-    serving = (config["admission"] != "none"
-               or config["faults"] != "none")
+    serving = _is_serving(config)
     if serving and config["engine"] != "graphbolt":
         raise MatrixError(
-            f"{table_path}: admission/fault runs exercise the serving "
-            f"loop, which is GraphBolt-based; engine "
+            f"{table_path}: admission/fault/slo runs exercise the "
+            f"serving loop, which is GraphBolt-based; engine "
             f"{config['engine']!r} is invalid there (add an exclude "
             f"rule)"
         )
@@ -508,6 +525,27 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
             BENCH_ALGORITHMS[config["algorithm"]], graph,
             approx_iterations=config["iterations"], recovery=recovery,
         )
+        slo_sink = None
+        observer = None
+        if config["slo"] != "none":
+            from repro.obs.slo import (
+                RecordingSink,
+                SLOEvaluator,
+                load_slo_file,
+            )
+            from repro.serving.observe import ServingObserver
+
+            slo_sink = RecordingSink()
+            observer = ServingObserver(
+                evaluator=SLOEvaluator(
+                    load_slo_file(str(config["slo"])), sink=slo_sink,
+                ),
+                # Deterministic observer mode: wall-clock signals are
+                # dropped from the samples, so SLO alert counts -- like
+                # the breaker below -- are a pure function of the run
+                # config (the canonical-payload determinism pin).
+                deterministic=True,
+            )
         resilient = ResilientAnalyticsServer(
             server,
             queue_capacity=8,
@@ -516,6 +554,7 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
             # and would make the work section nondeterministic.
             breaker=BreakerConfig(quarantine_threshold=2,
                                   cooldown_submits=2),
+            observer=observer,
         )
         per_batch: List[float] = []
         start_all = time.perf_counter()
@@ -544,6 +583,14 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
             "staleness_batches": health.staleness_batches,
             "admission_policy": health.admission_policy,
         }
+        if slo_sink is not None:
+            fired = [alert for alert in slo_sink.alerts
+                     if alert.state == "firing"]
+            work["slo_alerts"] = len(fired)
+            work["slo_firing"] = (
+                ",".join(sorted({alert.slo for alert in fired}))
+                or "-"
+            )
         timing = {
             "wall_seconds": _wall_summary(per_batch, 0.0),
             "drain_seconds": round(
@@ -559,8 +606,7 @@ def execute_run(spec: RunSpec) -> Dict:
     config = spec.config
     graph = _build_graph(config)
     batches = _build_batches(config, graph)
-    serving = (config["admission"] != "none"
-               or config["faults"] != "none")
+    serving = _is_serving(config)
     if serving:
         work, timing = _execute_serving_run(config, graph, batches)
     else:
@@ -587,7 +633,8 @@ def run_matrix(table: RunTable,
         if progress is not None:
             progress(spec.run_id)
         runs.append(execute_run(spec))
-    headers = ["Run", "Mode", "EdgeComp", "p50 s", "p99 s", "Total s"]
+    headers = ["Run", "Mode", "EdgeComp", "Alerts", "p50 s", "p99 s",
+               "Total s"]
     rows = []
     for run in runs:
         wall = run["timing"]["wall_seconds"]
@@ -595,6 +642,7 @@ def run_matrix(table: RunTable,
             run["id"], run["mode"],
             run["work"].get("edge_computations",
                             run["work"].get("applied", 0)),
+            run["work"].get("slo_alerts", "-"),
             wall["p50"], wall["p99"], wall["total"],
         ])
     matrix_config = {

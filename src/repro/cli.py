@@ -34,7 +34,20 @@ Commands
            snapshot and ``--health-journal`` appends one per batch;
            ``--poison-every`` + ``--query-every`` form the
            overload-soak used in CI (exit 1 on unserved queries or a
-           blown restore budget).
+           blown restore budget).  ``--slo FILE`` evaluates burn-rate
+           alerts per applied batch, ``--wide-events PATH`` journals
+           one wide event per batch/query, ``--plant-latency K:S``
+           plants a deterministic latency fault, and
+           ``--metrics-out`` / ``--serve-metrics PORT`` export the
+           registry in Prometheus text format.
+``dash``   render the operational dashboard from a serve journal:
+           SLO status and burn rates, breaker/queue state, alert
+           history, sparkline latency trends, and the seq gap check.
+           ``--once`` prints a single frame (``--expect-alert`` /
+           ``--expect-clean`` turn it into a CI assertion); without it
+           the frame re-renders on ``--interval``.
+``slo-lint``  validate SLO YAML files (default: every file under
+           ``benchmarks/slos/``); exit 1 on any invalid file.
 ``recover`` restore a crashed ``serve`` deployment from its state
            directory (newest loadable checkpoint + WAL-tail replay);
            ``--verify`` re-runs the schedule from scratch and checks
@@ -265,6 +278,13 @@ def _cmd_trace(args) -> int:
         title=(f"{args.engine} / {args.algorithm} on {spec} "
                f"({args.batches} batches of {args.batch_size})"),
     ))
+    if tracer.dropped:
+        print(f"WARNING: span ring buffer overflowed; the oldest "
+              f"{tracer.dropped} span(s) are missing from the "
+              f"breakdown above"
+              + (" (the --trace-out journal has every span)"
+                 if args.trace_out else
+                 " -- add --trace-out to keep the full stream"))
     if args.trace_out:
         print(f"span journal -> {args.trace_out}")
     return 0
@@ -340,7 +360,13 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import os
+
+    from repro.obs.events import WideEventEmitter
+    from repro.obs.export import MetricsHTTPServer, write_metrics
+    from repro.obs.slo import RecordingSink, SLOEvaluator, load_slo_file
     from repro.recovery import RecoveryManager
+    from repro.serving.observe import PlantedLatency, ServingObserver
     from repro.serving.resilience import (
         BreakerConfig,
         ResilientAnalyticsServer,
@@ -351,6 +377,7 @@ def _cmd_serve(args) -> int:
     resilient_mode = (
         args.admission is not None or args.query_every
         or args.poison_every or args.health_journal or args.status
+        or args.slo or args.wide_events or args.plant_latency
     )
     if args.poison_every and not args.wal:
         print("--poison-every needs --wal: poison batches are "
@@ -391,6 +418,38 @@ def _cmd_serve(args) -> int:
         )
     journal = (JsonlJournal.open(args.health_journal)
                if args.health_journal else None)
+    # The wide-event journal may be the same file as the health
+    # journal: share the handle, two "w" opens would clobber.
+    wide_journal = None
+    if args.wide_events:
+        if (args.health_journal and os.path.abspath(args.wide_events)
+                == os.path.abspath(args.health_journal)):
+            wide_journal = journal
+        else:
+            wide_journal = JsonlJournal.open(args.wide_events)
+    evaluator = None
+    sink = None
+    if resilient is not None and (args.slo or args.wide_events
+                                  or args.plant_latency):
+        if args.slo:
+            sink = RecordingSink()
+            evaluator = SLOEvaluator(
+                load_slo_file(args.slo),
+                journal=wide_journal if wide_journal is not None
+                else journal,
+                sink=sink,
+            )
+        resilient.observer = ServingObserver(
+            evaluator=evaluator,
+            emitter=(WideEventEmitter(journal=wide_journal)
+                     if args.wide_events else None),
+            planted_latency=(PlantedLatency.parse(args.plant_latency)
+                             if args.plant_latency else None),
+        )
+    metrics_server = None
+    if args.serve_metrics is not None:
+        metrics_server = MetricsHTTPServer(port=args.serve_metrics)
+        print(f"metrics endpoint: {metrics_server.url}")
     failpoints = faults.get_failpoints()
     queries_attempted = 0
     queries_answered = 0
@@ -430,6 +489,8 @@ def _cmd_serve(args) -> int:
         if journal is not None:
             resilient.record_health(journal)
             journal.close()
+    if wide_journal is not None and wide_journal is not journal:
+        wide_journal.close()
     print(format_table(
         ["batch", "mutations", "seconds"], rows,
         title=f"serve {args.algorithm} on {spec}"
@@ -462,9 +523,107 @@ def _cmd_serve(args) -> int:
             print(f"SOAK FAIL: {health.quarantine_count} quarantines "
                   f"for {poisons_planted} planted poisons")
             status = 1
+    if evaluator is not None:
+        fired = [alert for alert in sink.alerts
+                 if alert.state == "firing"]
+        still = evaluator.firing
+        print(f"slo: {len(fired)} alert(s) fired"
+              + (f"; firing at exit: {', '.join(still)}" if still
+                 else ""))
+        for alert in fired:
+            print(f"  [{alert.severity}] batch {alert.index}: "
+                  f"{alert.slo} fast={alert.fast_burn:.1f}x "
+                  f"slow={alert.slow_burn:.1f}x"
+                  + (f"  [runbook: {alert.runbook}]"
+                     if alert.runbook else ""))
+    if args.metrics_out:
+        write_metrics(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    if metrics_server is not None:
+        metrics_server.close()
     if recovery is not None:
         recovery.close()
     return status
+
+
+def _cmd_dash(args) -> int:
+    from repro.obs.dash import dashboard_from_journal, replay_slos
+    from repro.obs.slo import RecordingSink, load_slo_file
+
+    slos = load_slo_file(args.slo) if args.slo else None
+    refreshes = 1 if args.once else args.refreshes
+    rendered = 0
+    streams = None
+    while True:
+        try:
+            text, streams = dashboard_from_journal(
+                args.from_journal, slos=slos, width=args.width)
+        except FileNotFoundError:
+            print(f"journal not found: {args.from_journal}")
+            return 2
+        print(text, end="")
+        rendered += 1
+        if refreshes and rendered >= refreshes:
+            break
+        time.sleep(args.interval)
+    # Firing alerts come from journaled alert records plus (when an SLO
+    # file is given) the deterministic replay of the wide events --
+    # a journal without an evaluator attached still assertable.
+    fired = {record.get("slo") for record in streams["alerts"]
+             if record.get("state") == "firing"}
+    if slos:
+        sink = RecordingSink()
+        replay_slos(slos, streams["batches"], sink=sink)
+        fired |= {alert.slo for alert in sink.alerts
+                  if alert.state == "firing"}
+    status = 0
+    if args.expect_alert is not None:
+        ok = bool(fired) if args.expect_alert == "any" \
+            else args.expect_alert in fired
+        if not ok:
+            print(f"EXPECT FAIL: no firing alert"
+                  + ("" if args.expect_alert == "any"
+                     else f" named {args.expect_alert!r}")
+                  + " in the journal")
+            status = 1
+    if args.expect_clean and fired:
+        print(f"EXPECT FAIL: alert(s) fired in a run expected clean: "
+              + ", ".join(sorted(name or "?" for name in fired)))
+        status = 1
+    return status
+
+
+def _cmd_slo_lint(args) -> int:
+    import os
+
+    from repro.obs.slo import lint_slo_dir, lint_slo_file, slos_dir
+
+    targets = args.paths or [slos_dir()]
+    problems = 0
+    checked = 0
+    for target in targets:
+        if os.path.isdir(target):
+            names = sorted(name for name in os.listdir(target)
+                           if name.endswith(".yaml"))
+            results = {os.path.join(target, name):
+                       lint_slo_file(os.path.join(target, name))
+                       for name in names}
+            if not names:
+                results = lint_slo_dir(target)
+        else:
+            results = {target: lint_slo_file(target)}
+        for path in sorted(results):
+            checked += 1
+            errors = results[path]
+            if errors:
+                problems += 1
+                print(f"{path}: FAIL")
+                for error in errors:
+                    print(f"  - {error}")
+            else:
+                print(f"{path}: ok")
+    print(f"{checked} file(s) checked, {problems} with problems")
+    return 1 if problems or not checked else 0
 
 
 def _cmd_recover(args) -> int:
@@ -685,7 +844,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the final health snapshot (queue "
                             "depth, staleness, breaker state, "
                             "quarantines)")
+    serve.add_argument("--slo", default=None, metavar="FILE",
+                       help="evaluate this SLO file per applied batch "
+                            "(a name under benchmarks/slos/ or a "
+                            "path); alerts are journaled and printed")
+    serve.add_argument("--wide-events", default=None, metavar="PATH",
+                       help="journal one wide event per applied batch "
+                            "and served query to this JSONL file (may "
+                            "equal --health-journal)")
+    serve.add_argument("--plant-latency", default=None,
+                       metavar="INDEX:SECONDS",
+                       help="deterministic latency fault: from batch "
+                            "INDEX onward the SLO evaluator sees "
+                            "SECONDS as the ingest latency sample")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics registry in Prometheus "
+                            "text format at exit")
+    serve.add_argument("--serve-metrics", type=int, default=None,
+                       metavar="PORT",
+                       help="expose /metrics over HTTP on PORT for the "
+                            "duration of the run (0 picks a free port)")
     serve.set_defaults(handler=_cmd_serve)
+
+    dash = sub.add_parser(
+        "dash",
+        help="operational dashboard over a serve journal",
+    )
+    dash.add_argument("--from-journal", required=True, metavar="PATH",
+                      help="JSONL journal written by `repro serve` "
+                           "(--health-journal / --wide-events)")
+    dash.add_argument("--slo", default=None, metavar="FILE",
+                      help="replay this SLO file over the journaled "
+                           "wide events (reproduces the live burn "
+                           "rates and alert indices exactly)")
+    dash.add_argument("--once", action="store_true",
+                      help="render a single frame and exit")
+    dash.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between live re-renders")
+    dash.add_argument("--refreshes", type=int, default=0,
+                      help="stop after N frames (0 = until "
+                           "interrupted; --once means 1)")
+    dash.add_argument("--width", type=int, default=72,
+                      help="dashboard width in columns")
+    dash.add_argument("--expect-alert", default=None, metavar="NAME",
+                      help="exit 1 unless a firing alert (named NAME, "
+                           "or any with 'any') is in the journal or "
+                           "the --slo replay")
+    dash.add_argument("--expect-clean", action="store_true",
+                      help="exit 1 if any firing alert is found")
+    dash.set_defaults(handler=_cmd_dash)
+
+    slo_lint = sub.add_parser(
+        "slo-lint",
+        help="validate SLO YAML files (default: benchmarks/slos/)",
+    )
+    slo_lint.add_argument("paths", nargs="*",
+                          help="SLO files or directories to lint")
+    slo_lint.set_defaults(handler=_cmd_slo_lint)
 
     recover = sub.add_parser(
         "recover",

@@ -1,6 +1,6 @@
-"""Observability: span tracing, metrics registry, trace rendering.
+"""Observability: tracing, metrics, SLOs, wide events, export, dash.
 
-Three cooperating pieces (see ``docs/observability.md``):
+Cooperating pieces (see ``docs/observability.md``):
 
 - :mod:`repro.obs.trace` -- a span-based tracer.  Engines call
   ``trace.span("refine", batch=k)`` around every phase; the installed
@@ -15,8 +15,23 @@ Three cooperating pieces (see ``docs/observability.md``):
   ``MetricsRegistry.to_json()`` exports everything.
 - :mod:`repro.obs.render` -- renders a recorded span stream as a
   per-batch flame-style text breakdown (the ``repro trace`` command).
+- :mod:`repro.obs.slo` -- declarative objectives over the serving
+  surface with deterministic multi-window burn-rate alerts, journaled
+  as first-class records and forwarded to pluggable sinks.
+- :mod:`repro.obs.events` -- wide events: one structured record per
+  applied batch / served query, every dimension plus a trace exemplar.
+- :mod:`repro.obs.export` -- Prometheus-text-format rendering of the
+  registry, to a file or a stdlib HTTP ``/metrics`` endpoint.
+- :mod:`repro.obs.dash` -- the ``repro dash`` terminal dashboard over
+  journaled health snapshots, wide events, and alerts.
 """
 
+from repro.obs.events import WideEventEmitter
+from repro.obs.export import (
+    MetricsHTTPServer,
+    render_prometheus,
+    write_metrics,
+)
 from repro.obs.journal import JsonlJournal, read_journal
 from repro.obs.registry import (
     MetricsRegistry,
@@ -25,19 +40,43 @@ from repro.obs.registry import (
     set_registry,
 )
 from repro.obs.render import format_trace, phase_breakdown
+from repro.obs.slo import (
+    SLO,
+    Alert,
+    AlertSink,
+    BreakerAlertSink,
+    RecordingSink,
+    SLOError,
+    SLOEvaluator,
+    lint_slo_dir,
+    load_slo_file,
+)
 from repro.obs.trace import NULL_TRACER, Tracer, activated, get_tracer
 
 __all__ = [
+    "Alert",
+    "AlertSink",
+    "BreakerAlertSink",
     "JsonlJournal",
+    "MetricsHTTPServer",
     "MetricsRegistry",
     "NULL_TRACER",
+    "RecordingSink",
+    "SLO",
+    "SLOError",
+    "SLOEvaluator",
     "Tracer",
+    "WideEventEmitter",
     "activated",
     "format_trace",
     "get_registry",
     "get_tracer",
     "ingest_engine_metrics",
+    "lint_slo_dir",
+    "load_slo_file",
     "phase_breakdown",
     "read_journal",
+    "render_prometheus",
     "set_registry",
+    "write_metrics",
 ]

@@ -114,11 +114,27 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper-bound estimate of the q-quantile from bucket counts."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
+        """Upper-bound estimate of the q-quantile from bucket counts.
+
+        Edge cases are pinned, not inherited from whatever arithmetic
+        happens to do: ``q`` outside ``[0, 1]`` raises ``ValueError``
+        (so does a non-finite ``q``), and querying an **empty**
+        histogram raises ``ValueError`` -- an SLO or dashboard reading
+        "p99 = 0.0" off a histogram that never observed anything would
+        be silently wrong in the optimistic direction.  ``q = 0``
+        returns the smallest bucket bound; ``q = 1`` the bound of the
+        last occupied bucket (``inf`` if the overflow bucket is hit).
+        """
+        q = float(q)
+        if not 0.0 <= q <= 1.0:  # NaN fails this check too
+            raise ValueError(
+                f"quantile q must be in [0, 1], got {q!r}"
+            )
         if self.count == 0:
-            return 0.0
+            raise ValueError(
+                f"histogram {self.name!r} is empty: quantiles are "
+                f"undefined (check .count before asking)"
+            )
         target = q * self.count
         seen = 0
         for index, count in enumerate(self.counts):

@@ -31,6 +31,9 @@ harness attach trace dumps to shrunk failure repros.
 The tracer keeps the most recent ``capacity`` spans in a ring buffer
 and optionally forwards every span to a sink (anything with a
 ``write(record: dict)`` method, e.g. :class:`repro.obs.journal.JsonlJournal`).
+Ring evictions are never silent: each one increments
+``Tracer.dropped`` and the ``trace.dropped_spans`` registry counter,
+and ``repro trace`` prints a warning when the buffer overflowed.
 """
 
 from __future__ import annotations
@@ -39,6 +42,8 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
+
+from repro.obs.registry import get_registry
 
 __all__ = [
     "NULL_TRACER",
@@ -75,12 +80,19 @@ class NullTracer:
     """The disabled tracer: every span is the shared no-op."""
 
     enabled = False
+    dropped = 0
 
     def span(self, name: str, **tags) -> _NullSpan:
         return _NULL_SPAN
 
     def events(self) -> List[Dict]:
         return []
+
+    def mark(self) -> int:
+        return 0
+
+    def slowest_since(self, mark: int) -> Optional[Dict]:
+        return None
 
 
 NULL_TRACER = NullTracer()
@@ -145,6 +157,7 @@ class Tracer:
         self._epoch = clock()
         self._raw_clock = clock
         self._clock = lambda: self._raw_clock() - self._epoch
+        self.dropped = 0
 
     def span(self, name: str, **tags) -> Span:
         return Span(self, name, tags)
@@ -159,6 +172,13 @@ class Tracer:
             "duration": span.duration,
             "tags": span.tags,
         }
+        if (self._buffer.maxlen is not None
+                and len(self._buffer) == self._buffer.maxlen):
+            # The ring is about to evict its oldest span: count the
+            # loss instead of dropping silently (``repro trace`` warns
+            # when this is non-zero; a sink still sees every span).
+            self.dropped += 1
+            get_registry().counter("trace.dropped_spans").inc()
         self._buffer.append(record)
         if self._sink is not None:
             self._sink.write(record)
@@ -169,6 +189,25 @@ class Tracer:
 
     def clear(self) -> None:
         self._buffer.clear()
+
+    def mark(self) -> int:
+        """A position in the span-id sequence; pair with
+        :meth:`slowest_since` to pick a trace exemplar for one unit of
+        work (ids are assigned at span *entry*, so a mark taken before
+        an apply covers the apply's root span and everything inside)."""
+        return self._next_id
+
+    def slowest_since(self, mark: int) -> Optional[Dict]:
+        """The buffered span with the largest duration among spans
+        opened at or after ``mark`` -- the wide-event trace exemplar.
+        Returns ``None`` when no such span survives in the ring."""
+        slowest: Optional[Dict] = None
+        for record in self._buffer:
+            if record["id"] < mark:
+                continue
+            if slowest is None or record["duration"] > slowest["duration"]:
+                slowest = record
+        return slowest
 
 
 # ----------------------------------------------------------------------

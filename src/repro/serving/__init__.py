@@ -14,8 +14,12 @@ ingestion.
 :mod:`repro.serving.resilience` wraps the server in an overload layer:
 bounded-queue admission control, deadline-budgeted queries, and a
 degradation circuit breaker over the recovery path.
+:mod:`repro.serving.observe` attaches the observability layer: a
+:class:`~repro.serving.observe.ServingObserver` turns every applied
+batch and served query into a wide event and an SLO evaluator tick.
 """
 
+from repro.serving.observe import PlantedLatency, ServingObserver
 from repro.serving.resilience import (
     ADMISSION_POLICIES,
     BreakerConfig,
@@ -32,8 +36,10 @@ __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "HealthSnapshot",
+    "PlantedLatency",
     "QueryResult",
     "ResilientAnalyticsServer",
+    "ServingObserver",
     "StreamingAnalyticsServer",
     "SuiteRecovery",
 ]

@@ -1,0 +1,209 @@
+"""Glue between the serving loop and the observability layer.
+
+:class:`ServingObserver` is the single attachment point: hand one to
+:class:`~repro.serving.resilience.ResilientAnalyticsServer` and every
+applied batch and served query produces
+
+- one **wide event** through a
+  :class:`~repro.obs.events.WideEventEmitter` (all dimensions of the
+  unit of work, plus the trace exemplar -- the id of the slowest span
+  recorded while it ran, when tracing is on), and
+- one **SLO tick** through an
+  :class:`~repro.obs.slo.SLOEvaluator` (batches only: queries fold
+  their latency into the *next* batch tick, so the tick index is
+  exactly the applied-batch index and alert indices are pinnable).
+
+With no observer attached (the default) the serving hot path pays one
+``is None`` check per batch -- the same zero-cost-when-off posture as
+the tracer, which keeps the PR-2 disabled-overhead bound intact.
+
+:class:`PlantedLatency` is the deterministic fault for alerting tests
+and the CI smoke job: from a given batch index onward the
+``ingest_latency`` *sample* fed to the SLO evaluator is replaced with
+a fixed value.  Planting at the sample level (rather than actually
+sleeping) keeps the run fast and the firing batch index an exact
+number, while exercising the entire alert path -- evaluation, journal,
+registry gauges, sinks, dashboard replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs import trace
+from repro.obs.events import WideEventEmitter
+from repro.obs.slo import Alert, SLOEvaluator
+
+__all__ = ["PlantedLatency", "ServingObserver"]
+
+
+@dataclass(frozen=True)
+class PlantedLatency:
+    """Replace the ingest-latency sample from one batch index onward."""
+
+    from_index: int
+    seconds: float
+
+    @classmethod
+    def parse(cls, spec: str) -> "PlantedLatency":
+        """Parse the CLI form ``<index>:<seconds>`` (e.g. ``10:9.9``)."""
+        index_text, sep, seconds_text = spec.partition(":")
+        if not sep:
+            raise ValueError(
+                f"plant-latency spec {spec!r} must be <index>:<seconds>"
+            )
+        return cls(from_index=int(index_text),
+                   seconds=float(seconds_text))
+
+
+class ServingObserver:
+    """Emit wide events and tick SLOs for one resilient server.
+
+    ``deterministic=True`` drops wall-clock signals
+    (``ingest_latency`` / ``query_latency``) from the SLO samples --
+    the experiment matrix uses it so the ``BENCH_*`` payload's SLO
+    column is a pure function of the run config, matching the
+    count-based-breaker convention of serving-mode runs.
+    """
+
+    def __init__(
+        self,
+        evaluator: Optional[SLOEvaluator] = None,
+        emitter: Optional[WideEventEmitter] = None,
+        planted_latency: Optional[PlantedLatency] = None,
+        deterministic: bool = False,
+    ) -> None:
+        self.evaluator = evaluator
+        self.emitter = emitter
+        self.planted_latency = planted_latency
+        self.deterministic = deterministic
+        self.batches_observed = 0
+        self.queries_observed = 0
+        self._last_query_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _samples(self, resilient, ingest_seconds: float) -> Dict[str, float]:
+        server = resilient.server
+        health_like = {
+            "queue_depth": float(resilient.queue_depth),
+            "staleness_batches": float(
+                resilient.submitted - resilient._resolved_constituents
+            ),
+            "quarantine_count": float(server.batches_quarantined),
+            "breaker_open": 0.0 if resilient.breaker.closed else 1.0,
+            "degraded_query_ratio": (
+                server.queries_degraded / server.queries_served
+                if server.queries_served else 0.0
+            ),
+        }
+        if not self.deterministic:
+            health_like["ingest_latency"] = ingest_seconds
+            if self._last_query_seconds is not None:
+                health_like["query_latency"] = self._last_query_seconds
+        return health_like
+
+    def _exemplar(self, span_mark: Optional[int]) -> Optional[int]:
+        if span_mark is None or not trace.enabled():
+            return None
+        slowest = trace.get_tracer().slowest_since(span_mark)
+        return None if slowest is None else slowest["id"]
+
+    # ------------------------------------------------------------------
+    def batch_applied(
+        self,
+        resilient,
+        batch,
+        seconds: float,
+        ok: bool,
+        probe: bool,
+        constituents: int,
+        span_mark: Optional[int] = None,
+    ) -> List[Alert]:
+        """One applied batch: wide event + SLO tick.
+
+        ``seconds`` is the admission layer's measured apply time;
+        the sample fed to the evaluator is the engine's own
+        ``last_ingest_seconds`` (or the planted value), so SLOs see
+        engine latency, not queue bookkeeping.
+        """
+        index = self.batches_observed
+        self.batches_observed += 1
+        ingest_seconds = resilient.server.last_ingest_seconds
+        planted = self.planted_latency
+        if planted is not None and index >= planted.from_index:
+            ingest_seconds = planted.seconds
+        samples = self._samples(resilient, ingest_seconds)
+        alerts: List[Alert] = []
+        if self.evaluator is not None:
+            alerts = self.evaluator.tick(samples, index=index)
+        if self.emitter is not None:
+            server = resilient.server
+            self.emitter.emit(
+                "batch",
+                index=index,
+                engine="graphbolt",
+                backend=server.engine.backend.name,
+                mutations=len(batch),
+                additions=batch.num_additions,
+                deletions=batch.num_deletions,
+                constituents=constituents,
+                probe=probe,
+                ok=ok,
+                seconds=round(seconds, 6),
+                ingest_seconds=round(ingest_seconds, 6),
+                queue_depth=resilient.queue_depth,
+                breaker_state=resilient.breaker.state,
+                admission_policy=resilient._effective_policy(),
+                staleness_batches=int(samples["staleness_batches"]),
+                quarantined=not ok,
+                shard_imbalance=self._shard_imbalance(server),
+                samples={key: round(value, 6)
+                         for key, value in samples.items()},
+                alerts=[alert.slo for alert in alerts
+                        if alert.state == "firing"],
+                trace_on=trace.enabled(),
+                exemplar_span=self._exemplar(span_mark),
+            )
+        return alerts
+
+    def query_served(
+        self,
+        resilient,
+        result,
+        deadline_s: Optional[float] = None,
+        span_mark: Optional[int] = None,
+    ) -> None:
+        """One served query: wide event; latency folds into the next
+        batch tick (queries never advance the SLO tick index)."""
+        index = self.queries_observed
+        self.queries_observed += 1
+        self._last_query_seconds = result.seconds
+        if self.emitter is None:
+            return
+        server = resilient.server
+        self.emitter.emit(
+            "query",
+            index=index,
+            engine="graphbolt",
+            backend=server.engine.backend.name,
+            seconds=round(result.seconds, 6),
+            iterations=result.iterations_completed,
+            degraded=result.degraded,
+            residual_l1=round(result.residual_l1, 9),
+            deadline_budget=deadline_s,
+            batches_ingested=result.batches_ingested,
+            queue_depth=resilient.queue_depth,
+            breaker_state=resilient.breaker.state,
+            trace_on=trace.enabled(),
+            exemplar_span=self._exemplar(span_mark),
+        )
+
+    @staticmethod
+    def _shard_imbalance(server) -> float:
+        from repro.runtime.exec import load_imbalance
+
+        loads = getattr(server.engine.metrics, "shard_loads", None)
+        if not loads:
+            return 1.0
+        return round(load_imbalance(loads), 6)

@@ -180,6 +180,19 @@ class CircuitBreaker:
     def wants_probe(self) -> bool:
         return self.config.enabled and self._state == HALF_OPEN
 
+    def watch_transitions(
+        self, callback: Optional[Callable[[str, str, str], None]],
+    ) -> Optional[Callable[[str, str, str], None]]:
+        """Register the transition listener; returns the previous one.
+
+        The callback fires after the state has changed, so reading
+        :attr:`state` (or journaling a health snapshot) from inside it
+        sees the post-transition world.  One listener at a time: this
+        is a wiring point for the health journal, not an event bus.
+        """
+        previous, self._on_transition = self._on_transition, callback
+        return previous
+
     # ------------------------------------------------------------------
     def _transition(self, to_state: str, reason: str) -> None:
         from_state = self._state
@@ -299,8 +312,14 @@ class HealthSnapshot:
     reflected in served values (a queued coalesced batch counts every
     batch folded into it); ``queue_depth`` counts queue entries.  The
     two differ exactly when coalescing has merged entries.
+
+    ``seq`` numbers snapshots 0, 1, 2, ... per server, so a journal of
+    snapshots is checkable for holes: ``repro dash --from-journal``
+    warns when journaled health ``seq`` values are non-contiguous
+    (records lost, reordered, or snapshotted without journaling).
     """
 
+    seq: int
     queue_depth: int
     staleness_batches: int
     breaker_state: str
@@ -341,6 +360,7 @@ class ResilientAnalyticsServer:
         admission: str = "block",
         breaker: Optional[BreakerConfig] = None,
         max_growth: Optional[int] = None,
+        observer=None,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
@@ -354,6 +374,11 @@ class ResilientAnalyticsServer:
         self.admission = admission
         self.max_growth = max_growth
         self.breaker = CircuitBreaker(breaker)
+        # A ServingObserver (or anything with batch_applied /
+        # query_served); None keeps the hot path at one `is None`
+        # check per batch -- the disabled-overhead posture.
+        self.observer = observer
+        self._health_seq = 0
         # (wal_seq_or_None, batch, constituent_count)
         self._queue: Deque[Tuple[Optional[int], MutationBatch, int]] = (
             deque()
@@ -377,6 +402,7 @@ class ResilientAnalyticsServer:
         admission: str = "block",
         breaker: Optional[BreakerConfig] = None,
         max_growth: Optional[int] = None,
+        observer=None,
         **server_kwargs,
     ) -> "ResilientAnalyticsServer":
         """Restart from a state directory.
@@ -390,7 +416,7 @@ class ResilientAnalyticsServer:
         server = manager.recover(algorithm_factory, **server_kwargs)
         return cls(
             server, queue_capacity=queue_capacity, admission=admission,
-            breaker=breaker, max_growth=max_growth,
+            breaker=breaker, max_growth=max_growth, observer=observer,
         )
 
     # ------------------------------------------------------------------
@@ -539,6 +565,9 @@ class ResilientAnalyticsServer:
         if (probe and degraded_window is not None
                 and degraded_window < saved_window):
             engine.num_iterations = degraded_window
+        # Mark the span-id sequence before applying so the observer can
+        # pick this batch's slowest span as its trace exemplar.
+        mark = trace.get_tracer().mark()
         start = time.perf_counter()
         try:
             server.ingest(batch, logged_seq=seq)
@@ -557,6 +586,13 @@ class ResilientAnalyticsServer:
                 self.breaker.record_success()
         elif not probe:
             self.breaker.record_quarantine()
+        if self.observer is not None:
+            # After the breaker digests the outcome, so the wide event
+            # and SLO samples see the post-apply breaker state.
+            self.observer.batch_applied(
+                self, batch, elapsed, ok, probe, constituents,
+                span_mark=mark,
+            )
         return ok
 
     # ------------------------------------------------------------------
@@ -574,10 +610,16 @@ class ResilientAnalyticsServer:
         from the last good state (its staleness is visible in
         :meth:`health`).
         """
-        return self.server.query(
+        mark = trace.get_tracer().mark()
+        result = self.server.query(
             until_convergence=until_convergence,
             deadline_s=deadline_s, deadline=deadline,
         )
+        if self.observer is not None:
+            self.observer.query_served(
+                self, result, deadline_s=deadline_s, span_mark=mark,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Health surface
@@ -589,7 +631,10 @@ class ResilientAnalyticsServer:
             else self.server.batches_quarantined
         )
         registry = get_registry()
+        seq = self._health_seq
+        self._health_seq += 1
         snapshot = HealthSnapshot(
+            seq=seq,
             queue_depth=len(self._queue),
             staleness_batches=(
                 self.submitted - self._resolved_constituents
@@ -614,7 +659,10 @@ class ResilientAnalyticsServer:
     def record_health(self, journal) -> HealthSnapshot:
         """Append one health snapshot to a JSONL journal."""
         snapshot = self.health()
-        journal.write({"event": "health", **asdict(snapshot)})
+        # "type" is the discriminator every other journal record uses;
+        # "event" stays for readers of pre-dashboard journals.
+        journal.write({"type": "health", "event": "health",
+                       **asdict(snapshot)})
         return snapshot
 
     def _publish_queue_gauges(self) -> None:

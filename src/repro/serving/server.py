@@ -107,6 +107,8 @@ class StreamingAnalyticsServer:
         self.queries_degraded = 0
         self.batches_quarantined = 0
         self.restores = 0
+        self.last_ingest_seconds = 0.0
+        self.last_query_seconds = 0.0
         self.recovery = recovery
         if recovery is not None:
             # Generation zero: the WAL holds mutations, not the initial
@@ -159,6 +161,8 @@ class StreamingAnalyticsServer:
         server.queries_degraded = 0
         server.batches_quarantined = 0
         server.restores = 0
+        server.last_ingest_seconds = 0.0
+        server.last_query_seconds = 0.0
         server.recovery = recovery
         return server
 
@@ -201,8 +205,9 @@ class StreamingAnalyticsServer:
         if self.recovery is not None:
             self.recovery.maybe_checkpoint(self.engine,
                                            self.batches_ingested)
+        self.last_ingest_seconds = time.perf_counter() - start
         registry.histogram("serving.ingest_seconds").observe(
-            time.perf_counter() - start
+            self.last_ingest_seconds
         )
         registry.gauge("serving.batches_ingested").set(
             self.batches_ingested
@@ -309,6 +314,7 @@ class StreamingAnalyticsServer:
         # One measurement: the recorded histogram and the reported
         # latency must agree.
         seconds = time.perf_counter() - start
+        self.last_query_seconds = seconds
         registry = get_registry()
         registry.histogram("serving.query_seconds").observe(seconds)
         if degraded:

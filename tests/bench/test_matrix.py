@@ -164,9 +164,12 @@ class TestExpansion:
             assert spec.config["scale"] == 5
 
     def test_run_ids_use_axis_order(self):
+        # 2 engines x 2 scenarios x 2 admissions x 2 faults x 2 slos
+        # = 32, minus the ligra cells excluded from serving-implying
+        # axes (coalesce, poison, soak) leaves 2 ligra + 16 graphbolt.
         specs = expand(load_table("smoke"))
-        assert len(specs) == 10
-        assert len({spec.run_id for spec in specs}) == 10
+        assert len(specs) == 18
+        assert len({spec.run_id for spec in specs}) == 18
 
 
 class TestPayloadSchema:
@@ -313,3 +316,53 @@ class TestDriverEquivalence:
     def test_run_driver_rejects_generic_table(self):
         with pytest.raises(MatrixError, match="not a driver table"):
             run_driver("smoke")
+
+
+class TestSLOAxis:
+    def table(self, slo_value):
+        return f"""
+schema: 1
+area: tinyslo
+axes:
+  slo: [{slo_value}]
+fixed:
+  topology: rmat
+  scale: 5
+  algorithm: PR
+  engine: graphbolt
+  batch_size: 5
+  num_batches: 3
+  iterations: 4
+  seed: 9
+"""
+
+    def test_unresolvable_slo_plan_rejected(self, tmp_path):
+        path = write_table(tmp_path, self.table("no_such_plan"))
+        with pytest.raises(MatrixError, match="does not resolve"):
+            load_table(path)
+
+    def test_slo_axis_implies_serving_mode(self, tmp_path):
+        path = write_table(tmp_path, self.table("soak"))
+        payload = run_matrix(load_table(path))
+        (run,) = payload["runs"]
+        assert run["mode"] == "serving"
+        validate_payload(payload)
+
+    def test_slo_run_reports_alert_work(self, tmp_path):
+        """Deterministic observer mode: wall-clock signals are
+        dropped, so a healthy run's SLO column is exactly zero --
+        and part of the gated canonical payload."""
+        path = write_table(tmp_path, self.table("soak"))
+        table = load_table(path)
+        first = run_matrix(table)
+        (run,) = first["runs"]
+        assert run["work"]["slo_alerts"] == 0
+        assert run["work"]["slo_firing"] == "-"
+        assert canonical_payload(first) == canonical_payload(
+            run_matrix(table))
+
+    def test_slo_requires_graphbolt(self, tmp_path):
+        path = write_table(tmp_path, self.table("soak").replace(
+            "engine: graphbolt", "engine: ligra"))
+        with pytest.raises(MatrixError, match="GraphBolt-based"):
+            load_table(path)

@@ -60,9 +60,13 @@ class TestHistogram:
         assert histogram.quantile(1.0) == float("inf")
 
     def test_empty_histogram(self):
+        # An empty histogram has no quantiles: "p99 = 0.0" off a
+        # histogram that never observed anything would be silently
+        # wrong in the optimistic direction, so asking raises.
         histogram = Histogram("latency")
         assert histogram.mean == 0.0
-        assert histogram.quantile(0.9) == 0.0
+        with pytest.raises(ValueError, match="empty"):
+            histogram.quantile(0.9)
 
     def test_rejects_unsorted_bounds(self):
         with pytest.raises(ValueError):
@@ -71,8 +75,19 @@ class TestHistogram:
             Histogram("bad", bounds=(1.0, 1.0))
 
     def test_rejects_bad_quantile(self):
-        with pytest.raises(ValueError):
-            Histogram("latency").quantile(1.5)
+        histogram = Histogram("latency")
+        histogram.observe(0.05)
+        for bad_q in (1.5, -0.1, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="quantile q"):
+                histogram.quantile(bad_q)
+
+    def test_quantile_accepts_integral_and_boundary_q(self):
+        histogram = Histogram("latency", bounds=(0.01, 0.1, 1.0))
+        histogram.observe(0.05)
+        assert histogram.quantile(0) == 0.01  # int coerces
+        assert histogram.quantile(1) == 0.1
+        assert histogram.quantile(0.0) == 0.01
+        assert histogram.quantile(1.0) == 0.1
 
 
 class TestMetricsRegistry:

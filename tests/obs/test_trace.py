@@ -89,6 +89,48 @@ class TestTracer:
         assert len(events) == 4
         assert [e["tags"]["index"] for e in events] == [6, 7, 8, 9]
 
+    def test_overflow_counts_dropped_spans(self):
+        from repro.obs.registry import scoped_registry
+
+        with scoped_registry() as registry:
+            tracer = Tracer(capacity=4, clock=FakeClock())
+            for index in range(10):
+                with tracer.span("span", index=index):
+                    pass
+            # 10 spans through a 4-slot ring: 6 evictions, none silent.
+            assert tracer.dropped == 6
+            assert registry.counter("trace.dropped_spans").value == 6
+
+    def test_no_drops_under_capacity(self):
+        from repro.obs.registry import scoped_registry
+
+        with scoped_registry() as registry:
+            tracer = Tracer(capacity=8, clock=FakeClock())
+            for _ in range(8):
+                with tracer.span("span"):
+                    pass
+            assert tracer.dropped == 0
+            assert registry.counter("trace.dropped_spans").value == 0
+
+    def test_mark_and_slowest_since(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("apply"):       # duration 3 (outer span)
+            with tracer.span("inner"):   # duration 1
+                pass
+        slowest = tracer.slowest_since(mark)
+        assert slowest["name"] == "apply"
+        assert slowest["id"] >= mark
+        # Nothing after the tail mark.
+        assert tracer.slowest_since(tracer.mark()) is None
+
+    def test_null_tracer_mark_is_free(self):
+        assert NULL_TRACER.mark() == 0
+        assert NULL_TRACER.slowest_since(0) is None
+        assert NULL_TRACER.dropped == 0
+
     def test_sink_sees_every_span_past_capacity(self):
         class ListSink:
             def __init__(self):

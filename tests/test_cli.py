@@ -322,3 +322,121 @@ class TestResilientServe:
         # reconstructs the live stream bit-for-bit.
         assert main(["recover", state, "--verify"]) == 0
         assert "bit-for-bit" in capsys.readouterr().out
+
+
+class TestSLOAndDashCommands:
+    SERVE = ["serve", "rmat:6:4", "--batches", "14", "--batch-size",
+             "8", "--iterations", "3"]
+
+    def test_planted_fault_fires_pinned_alert_and_replays(
+            self, tmp_path, capsys):
+        """The acceptance pin, end to end: plant at 10, page at 11,
+        and the same journal replays the violation through dash."""
+        journal = str(tmp_path / "wide.jsonl")
+        code = main(self.SERVE + ["--slo", "soak", "--wide-events",
+                                  journal, "--plant-latency", "10:9.9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slo: 1 alert(s) fired" in out
+        assert ("batch 11: soak-ingest-latency "
+                "fast=5.0x slow=2.5x") in out
+        assert "[runbook: overload-and-degradation]" in out
+        alerts = read_journal(journal, record_type="alert")
+        assert [(a["slo"], a["state"], a["index"]) for a in alerts] == [
+            ("soak-ingest-latency", "firing", 11)]
+        assert len(read_journal(journal, record_type="wide")) == 14
+        # Replay: the dashboard sees the violation and the seq check
+        # is clean.
+        assert main(["dash", "--once", "--from-journal", journal,
+                     "--slo", "soak", "--expect-alert",
+                     "soak-ingest-latency"]) == 0
+        out = capsys.readouterr().out
+        assert "FIRING" in out
+        assert "Sequence check: ok" in out
+        # The very same journal asserted clean must fail.
+        assert main(["dash", "--once", "--from-journal", journal,
+                     "--expect-clean"]) == 1
+        assert "EXPECT FAIL" in capsys.readouterr().out
+
+    def test_clean_run_fires_nothing(self, tmp_path, capsys):
+        journal = str(tmp_path / "wide.jsonl")
+        assert main(self.SERVE + ["--slo", "soak", "--wide-events",
+                                  journal]) == 0
+        assert "slo: 0 alert(s) fired" in capsys.readouterr().out
+        assert main(["dash", "--once", "--from-journal", journal,
+                     "--slo", "soak", "--expect-clean"]) == 0
+        capsys.readouterr()
+        assert main(["dash", "--once", "--from-journal", journal,
+                     "--slo", "soak", "--expect-alert", "any"]) == 1
+        assert "EXPECT FAIL" in capsys.readouterr().out
+
+    def test_shared_wide_and_health_journal(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main(self.SERVE + ["--wide-events", path,
+                                  "--health-journal", path]) == 0
+        capsys.readouterr()
+        records = read_journal(path)
+        kinds = {record["type"] for record in records}
+        assert {"wide", "health"} <= kinds
+        assert main(["dash", "--once", "--from-journal", path]) == 0
+        out = capsys.readouterr().out
+        assert "Sequence check: ok" in out
+        assert "breaker=closed" in out
+
+    def test_dash_missing_journal(self, tmp_path, capsys):
+        code = main(["dash", "--once", "--from-journal",
+                     str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "journal not found" in capsys.readouterr().out
+
+    def test_metrics_out_renders_prometheus_text(self, tmp_path,
+                                                 capsys):
+        metrics = str(tmp_path / "metrics.prom")
+        assert main(self.SERVE + ["--slo", "soak", "--metrics-out",
+                                  metrics]) == 0
+        assert f"metrics -> {metrics}" in capsys.readouterr().out
+        with open(metrics) as handle:
+            text = handle.read()
+        assert "repro_slo_soak_ingest_latency_fast_burn" in text
+        assert "repro_slo_alerts_fired" in text
+
+    def test_serve_metrics_endpoint_announced(self, capsys):
+        assert main(self.SERVE[:2] + ["--batches", "2", "--batch-size",
+                                      "4", "--iterations", "2",
+                                      "--serve-metrics", "0"]) == 0
+        assert "metrics endpoint: http://" in capsys.readouterr().out
+
+    def test_slo_lint_bundled_files_pass(self, capsys):
+        assert main(["slo-lint"]) == 0
+        out = capsys.readouterr().out
+        assert "soak.yaml: ok" in out
+        assert "serving.yaml: ok" in out
+        assert "0 with problems" in out
+
+    def test_slo_lint_flags_broken_files(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("schema: 1\nslos: []\n")
+        assert main(["slo-lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.yaml: FAIL" in out
+        assert "1 with problems" in out
+
+    def test_slo_lint_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["slo-lint", str(tmp_path)]) == 1
+
+    def test_trace_warns_on_ring_overflow(self, monkeypatch, capsys):
+        from repro.obs.trace import Tracer as RealTracer
+
+        monkeypatch.setattr(
+            "repro.cli.Tracer",
+            lambda sink=None: RealTracer(capacity=2, sink=sink))
+        assert main(["trace", "rmat:6:4", "--batches", "2",
+                     "--batch-size", "4", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: span ring buffer overflowed" in out
+        assert "--trace-out" in out
+
+    def test_trace_quiet_without_overflow(self, capsys):
+        assert main(["trace", "rmat:6:4", "--batches", "2",
+                     "--batch-size", "4", "--iterations", "2"]) == 0
+        assert "WARNING" not in capsys.readouterr().out
