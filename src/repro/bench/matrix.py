@@ -8,8 +8,8 @@ muBench's 180-run experiment definition and stack_route_sim's
 
 - :func:`load_table` parses and validates a YAML run table whose
   ``axes`` (topology, scale, algorithm, engine, backend, scenario,
-  admission, faults, slo, ...) are expanded as a cartesian product,
-  minus declared ``exclude`` combinations;
+  admission, faults, replication, slo, ...) are expanded as a
+  cartesian product, minus declared ``exclude`` combinations;
 - :func:`run_matrix` executes every expanded run deterministically,
   scraping each through a scoped PR-2 metrics registry, and assembles a
   schema-versioned ``BENCH_<area>.json`` payload (config hash, seed,
@@ -75,8 +75,9 @@ SCHEMA_VERSION = 1
 #: Canonical config-key order; also the run-id segment order.
 AXIS_ORDER = (
     "topology", "scale", "algorithm", "engine", "backend", "scenario",
-    "admission", "faults", "slo", "batch_size", "num_batches",
-    "iterations", "delete_fraction", "edge_factor", "seed",
+    "admission", "faults", "replication", "slo", "batch_size",
+    "num_batches", "iterations", "delete_fraction", "edge_factor",
+    "seed",
 )
 
 #: Per-key defaults merged under ``fixed``.
@@ -89,6 +90,7 @@ DEFAULTS: Dict[str, object] = {
     "scenario": "uniform",
     "admission": "none",
     "faults": "none",
+    "replication": "off",
     "slo": "none",
     "batch_size": 20,
     "num_batches": 2,
@@ -102,6 +104,7 @@ TOPOLOGIES = ("rmat", "ws", "er", "paper")
 ENGINES = ("ligra", "gbreset", "graphbolt")
 SCENARIOS = ("uniform", "hi", "lo", "hotspot_storm")
 ADMISSIONS = ("none", "block", "shed-oldest", "coalesce")
+REPLICATIONS = ("off", "2-replica", "2-replica+lag-fault")
 
 #: Timing percentiles reported per run (plus mean/total/max).
 WALL_PERCENTILES = (50, 90, 99)
@@ -244,6 +247,9 @@ def _check_value(table_path: str, key: str, value: object) -> None:
     if key == "admission" and value not in ADMISSIONS:
         raise MatrixError(
             f"{table_path}: admission {value!r} not in {ADMISSIONS}")
+    if key == "replication" and value not in REPLICATIONS:
+        raise MatrixError(
+            f"{table_path}: replication {value!r} not in {REPLICATIONS}")
     if key == "backend":
         _parse_backend(str(value))
     if key == "faults":
@@ -284,11 +290,25 @@ def _parse_faults(spec: str) -> int:
                       f"use 'none' or 'poison:<N>'")
 
 
+def _parse_replication(spec: str) -> Tuple[int, bool]:
+    """``off`` -> (0, False); ``2-replica[+lag-fault]`` -> (2, fault?)."""
+    if spec == "off":
+        return 0, False
+    base, _, fault = spec.partition("+")
+    if base.endswith("-replica") and base[:-len("-replica")].isdigit():
+        replicas = int(base[:-len("-replica")])
+        if replicas > 0 and fault in ("", "lag-fault"):
+            return replicas, fault == "lag-fault"
+    raise MatrixError(f"unknown replication plan {spec!r}; "
+                      f"use 'off' or '<N>-replica[+lag-fault]'")
+
+
 def _is_serving(config: Dict) -> bool:
-    """An slo plan implies the serving loop, like admission/faults do:
-    the observer attaches to the resilient server."""
+    """An slo/replication plan implies the serving loop, like
+    admission/faults do: both attach to the resilient server."""
     return (config["admission"] != "none"
             or config["faults"] != "none"
+            or config["replication"] != "off"
             or config["slo"] != "none")
 
 
@@ -513,14 +533,22 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
     from repro.testing import faults as fault_mod
 
     poison_every = _parse_faults(str(config["faults"]))
+    replicas, lag_fault = _parse_replication(str(config["replication"]))
     policy = (config["admission"] if config["admission"] != "none"
               else "block")
     with tempfile.TemporaryDirectory() as state_dir, \
             scoped_registry(), \
             fault_mod.scoped_failpoints() as failpoints:
         recovery = None
-        if poison_every:
-            recovery = RecoveryManager(state_dir, checkpoint_every=8)
+        if poison_every or replicas:
+            # Poison plans quarantine through the recovery path;
+            # replicas replay the writer's shipped WAL -- both need a
+            # durable writer.  Replicated runs checkpoint every other
+            # batch so shipping happens *during* the loop (otherwise
+            # the short matrix runs would only converge at the final
+            # sync and the planted lag fault would never be reached).
+            recovery = RecoveryManager(
+                state_dir, checkpoint_every=2 if replicas else 8)
         server = StreamingAnalyticsServer(
             BENCH_ALGORITHMS[config["algorithm"]], graph,
             approx_iterations=config["iterations"], recovery=recovery,
@@ -556,6 +584,15 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
                                   cooldown_submits=2),
             observer=observer,
         )
+        cluster = None
+        lag_max = 0
+        if replicas:
+            from repro.serving.replication import ReplicationCluster
+
+            cluster = ReplicationCluster(
+                resilient, BENCH_ALGORITHMS[config["algorithm"]],
+                state_dir, replicas=replicas,
+            )
         per_batch: List[float] = []
         start_all = time.perf_counter()
         for index, batch in enumerate(batches):
@@ -564,10 +601,23 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
                     "engine.refine", kind="fault",
                     hit=failpoints.hit_count("engine.refine") + 1,
                 )
+            if lag_fault and index == len(batches) // 2:
+                # Planted replica lag: one delivery round is deferred
+                # (the shipment stays pending), so staleness rises and
+                # the next round drains it -- deterministic, count-based.
+                failpoints.arm(
+                    "replication.receive", kind="fault",
+                    hit=failpoints.hit_count("replication.receive") + 1,
+                )
             start = time.perf_counter()
             resilient.submit(batch)
+            if cluster is not None:
+                cluster.replicate()
+                lag_max = max(lag_max, cluster.staleness())
             per_batch.append(time.perf_counter() - start)
         resilient.drain()
+        if cluster is not None:
+            cluster.sync()
         setup_seconds = time.perf_counter() - start_all
         health = resilient.health()
         work = {
@@ -591,11 +641,20 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
                 ",".join(sorted({alert.slo for alert in fired}))
                 or "-"
             )
+        if cluster is not None:
+            work["replication_lag_max"] = lag_max
+            work["replicas_converged"] = int(cluster.max_lag() == 0)
+            work["fence_rejections"] = sum(
+                replica.fence_rejections
+                for replica in cluster.replicas.values()
+            )
         timing = {
             "wall_seconds": _wall_summary(per_batch, 0.0),
             "drain_seconds": round(
                 setup_seconds - float(np.sum(per_batch)), 6),
         }
+        if cluster is not None:
+            cluster.close()
         if recovery is not None:
             recovery.close()
     return work, timing

@@ -25,7 +25,10 @@ Commands
            ``--crash`` switches to the crash-recovery fuzzer: kill a
            durable server at a seeded failpoint, recover from
            checkpoint + WAL, and assert bit-for-bit equivalence (see
-           ``docs/operations.md``).
+           ``docs/operations.md``).  ``--crash --replicated`` sweeps
+           the replication scenarios (writer-kill, replica-kill,
+           segment-drop, stale-writer-fence) and asserts every replica
+           converges bit-for-bit with fenced segments in the ledger.
 ``serve``  run a durable streaming deployment: ingest seeded batches
            with a write-ahead log and periodic atomic checkpoints
            (``--wal DIR --checkpoint-every N``).  ``--admission`` adds
@@ -39,19 +42,27 @@ Commands
            one wide event per batch/query, ``--plant-latency K:S``
            plants a deterministic latency fault, and
            ``--metrics-out`` / ``--serve-metrics PORT`` export the
-           registry in Prometheus text format.
+           registry in Prometheus text format.  ``--replicas N`` ships
+           sealed WAL segments + checkpoints to N read replicas
+           (``--replica-transport``, ``--kill-replica I:AT[:RESTART]``
+           for the replication-soak; exit 1 if a live replica never
+           converges).
 ``dash``   render the operational dashboard from a serve journal:
            SLO status and burn rates, breaker/queue state, alert
            history, sparkline latency trends, and the seq gap check.
            ``--once`` prints a single frame (``--expect-alert`` /
-           ``--expect-clean`` turn it into a CI assertion); without it
-           the frame re-renders on ``--interval``.
+           ``--expect-resolved`` / ``--expect-clean`` turn it into a
+           CI assertion); without it the frame re-renders on
+           ``--interval``.
 ``slo-lint``  validate SLO YAML files (default: every file under
            ``benchmarks/slos/``); exit 1 on any invalid file.
 ``recover`` restore a crashed ``serve`` deployment from its state
            directory (newest loadable checkpoint + WAL-tail replay);
            ``--verify`` re-runs the schedule from scratch and checks
            the recovered values bit-for-bit.
+``replication-status`` inspect a replicated state directory tree
+           offline: writer/replica WAL positions, cluster epoch, fence
+           ledgers -- usable while nothing is serving.
 
 Graph specs
 -----------
@@ -378,11 +389,28 @@ def _cmd_serve(args) -> int:
         args.admission is not None or args.query_every
         or args.poison_every or args.health_journal or args.status
         or args.slo or args.wide_events or args.plant_latency
+        or args.replicas
     )
     if args.poison_every and not args.wal:
         print("--poison-every needs --wal: poison batches are "
               "quarantined through the recovery path")
         return 2
+    if args.replicas and not args.wal:
+        print("--replicas needs --wal: replicas replay the writer's "
+              "shipped WAL segments and checkpoints")
+        return 2
+    if args.kill_replica and not args.replicas:
+        print("--kill-replica needs --replicas")
+        return 2
+    kill_plan = None
+    if args.kill_replica:
+        parts = args.kill_replica.split(":")
+        if len(parts) not in (2, 3):
+            print("--kill-replica must be I:AT or I:AT:RESTART "
+                  "(replica index, kill batch, restart batch)")
+            return 2
+        kill_plan = (f"r{int(parts[0])}", int(parts[1]),
+                     int(parts[2]) if len(parts) == 3 else None)
 
     spec = _spec_of(args)
     graph = parse_graph(spec)
@@ -416,6 +444,14 @@ def _cmd_serve(args) -> int:
             admission=args.admission or "block",
             breaker=config,
         )
+    cluster = None
+    if args.replicas:
+        from repro.serving.replication import ReplicationCluster
+
+        cluster = ReplicationCluster(
+            resilient, ALGORITHMS[args.algorithm], args.wal,
+            replicas=args.replicas, transport=args.replica_transport,
+        )
     journal = (JsonlJournal.open(args.health_journal)
                if args.health_journal else None)
     # The wide-event journal may be the same file as the health
@@ -445,6 +481,8 @@ def _cmd_serve(args) -> int:
                      if args.wide_events else None),
             planted_latency=(PlantedLatency.parse(args.plant_latency)
                              if args.plant_latency else None),
+            staleness_probe=(cluster.staleness if cluster is not None
+                             else None),
         )
     metrics_server = None
     if args.serve_metrics is not None:
@@ -462,6 +500,12 @@ def _cmd_serve(args) -> int:
         if resilient is None:
             server.ingest(batch)
         else:
+            if kill_plan is not None:
+                name, kill_at, restart_at = kill_plan
+                if index == kill_at:
+                    cluster.kill_replica(name)
+                if restart_at is not None and index == restart_at:
+                    cluster.restart_replica(name)
             if (args.poison_every
                     and (index + 1) % args.poison_every == 0):
                 # Plant-a-fault poison: the next refinement pass fails
@@ -480,12 +524,19 @@ def _cmd_serve(args) -> int:
                 queries_attempted += 1
                 resilient.query(deadline_s=args.deadline)
                 queries_answered += 1
+            if cluster is not None:
+                cluster.replicate()
+                observer = resilient.observer
+                if observer is not None and observer.emitter is not None:
+                    cluster.observe_replicas(observer.emitter)
             if journal is not None:
                 resilient.record_health(journal)
         rows.append([index, len(batch),
                      round(time.perf_counter() - start, 4)])
     if resilient is not None:
         resilient.drain()
+        if cluster is not None:
+            cluster.sync()
         if journal is not None:
             resilient.record_health(journal)
             journal.close()
@@ -523,6 +574,29 @@ def _cmd_serve(args) -> int:
             print(f"SOAK FAIL: {health.quarantine_count} quarantines "
                   f"for {poisons_planted} planted poisons")
             status = 1
+    if cluster is not None:
+        summary = cluster.status()
+        parts = []
+        for name, info in summary["replicas"].items():
+            parts.append(
+                f"{name}={'up' if info['alive'] else 'DOWN'}"
+                f"/lag={info['lag_batches']}"
+                + (f"/rejections={info['fence_rejections']}"
+                   if info["fence_rejections"] else "")
+            )
+        print(f"replication: epoch={summary['epoch']}  "
+              + "  ".join(parts))
+        alive_lag = max(
+            (info["lag_batches"]
+             for info in summary["replicas"].values()
+             if info["alive"]),
+            default=0,
+        )
+        if alive_lag:
+            print(f"SOAK FAIL: live replica still lags {alive_lag} "
+                  f"record(s) after the final sync (never converged)")
+            status = 1
+        cluster.close()
     if evaluator is not None:
         fired = [alert for alert in sink.alerts
                  if alert.state == "firing"]
@@ -571,11 +645,15 @@ def _cmd_dash(args) -> int:
     # a journal without an evaluator attached still assertable.
     fired = {record.get("slo") for record in streams["alerts"]
              if record.get("state") == "firing"}
+    resolved = {record.get("slo") for record in streams["alerts"]
+                if record.get("state") == "resolved"}
     if slos:
         sink = RecordingSink()
         replay_slos(slos, streams["batches"], sink=sink)
         fired |= {alert.slo for alert in sink.alerts
                   if alert.state == "firing"}
+        resolved |= {alert.slo for alert in sink.alerts
+                     if alert.state == "resolved"}
     status = 0
     if args.expect_alert is not None:
         ok = bool(fired) if args.expect_alert == "any" \
@@ -584,6 +662,15 @@ def _cmd_dash(args) -> int:
             print(f"EXPECT FAIL: no firing alert"
                   + ("" if args.expect_alert == "any"
                      else f" named {args.expect_alert!r}")
+                  + " in the journal")
+            status = 1
+    if args.expect_resolved is not None:
+        ok = bool(resolved) if args.expect_resolved == "any" \
+            else args.expect_resolved in resolved
+        if not ok:
+            print(f"EXPECT FAIL: no resolved alert"
+                  + ("" if args.expect_resolved == "any"
+                     else f" named {args.expect_resolved!r}")
                   + " in the journal")
             status = 1
     if args.expect_clean and fired:
@@ -670,17 +757,40 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_replication_status(args) -> int:
+    import json as _json
+
+    from repro.serving.replication import replication_status
+
+    print(_json.dumps(replication_status(args.state_dir), indent=2,
+                      sort_keys=True))
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.testing import parse_budget, run_fuzz
 
     if args.plant_fault and not args.crash:
         print("--plant-fault requires --crash")
         return 2
+    if args.replicated and not args.crash:
+        print("--replicated requires --crash")
+        return 2
     if args.crash:
-        from repro.testing.crash import run_crash_fuzz, run_plant_fault
+        from repro.testing.crash import (
+            replicated_scenario_sweep,
+            run_crash_fuzz,
+            run_plant_fault,
+        )
 
         if args.plant_fault:
             return 0 if run_plant_fault(seed=args.seed) else 1
+        if args.replicated:
+            rounds = replicated_scenario_sweep(
+                seed=args.seed, state_root=args.artifacts_dir,
+                emit=print,
+            )
+            return 0 if all(round_.ok for round_ in rounds) else 1
         outcome = run_crash_fuzz(
             seed=args.seed,
             rounds=args.rounds,
@@ -809,6 +919,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint cadence in batches")
     serve.add_argument("--retain", type=int, default=3,
                        help="checkpoint generations to keep")
+    serve.add_argument("--replicas", type=int, default=0, metavar="N",
+                       help="attach N WAL-shipped read replicas behind "
+                            "the writer (needs --wal; see "
+                            "docs/operations.md 'Replication and "
+                            "failover')")
+    serve.add_argument("--replica-transport", default="inproc",
+                       choices=["inproc", "directory"],
+                       help="segment/checkpoint shipping transport: "
+                            "in-process queues or durable spool "
+                            "directories")
+    serve.add_argument("--kill-replica", default=None,
+                       metavar="I:AT[:RESTART]",
+                       help="kill replica I before batch AT (and "
+                            "restart it before batch RESTART) -- the "
+                            "replication-soak fault plan")
     serve.add_argument("--admission", default=None,
                        choices=["block", "shed-oldest", "coalesce"],
                        help="enable the admission controller with this "
@@ -890,6 +1015,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit 1 unless a firing alert (named NAME, "
                            "or any with 'any') is in the journal or "
                            "the --slo replay")
+    dash.add_argument("--expect-resolved", default=None, metavar="NAME",
+                      help="exit 1 unless an alert (named NAME, or any "
+                           "with 'any') resolved in the journal or the "
+                           "--slo replay -- the recovery edge of the "
+                           "replication-soak")
     dash.add_argument("--expect-clean", action="store_true",
                       help="exit 1 if any firing alert is found")
     dash.set_defaults(handler=_cmd_dash)
@@ -951,7 +1081,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="self-test (--crash): arm a transient fault "
                            "and succeed only if the failpoint registry "
                            "fires and retry absorbs it")
+    fuzz.add_argument("--replicated", action="store_true",
+                      help="with --crash: sweep the replication "
+                           "scenarios (writer-kill, replica-kill, "
+                           "segment-drop, stale-writer-fence); every "
+                           "replica must converge bit-for-bit and "
+                           "fenced segments must land in the ledger")
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    repl_status = sub.add_parser(
+        "replication-status",
+        help="inspect a replicated state directory tree offline",
+    )
+    repl_status.add_argument("state_dir",
+                             help="the serve --wal directory (replica "
+                                  "state lives under replicas/)")
+    repl_status.set_defaults(handler=_cmd_replication_status)
     return parser
 
 

@@ -60,7 +60,7 @@ def split_journal(records: Sequence[Dict]) -> Dict[str, List[Dict]]:
     """Partition journal records into the streams the panels consume."""
     streams: Dict[str, List[Dict]] = {
         "health": [], "wide": [], "batches": [], "queries": [],
-        "alerts": [], "other": [],
+        "replicas": [], "alerts": [], "other": [],
     }
     for record in records:
         kind = record.get("type")
@@ -72,6 +72,12 @@ def split_journal(records: Sequence[Dict]) -> Dict[str, List[Dict]]:
         elif kind == "wide" and record.get("kind") == "query":
             streams["wide"].append(record)
             streams["queries"].append(record)
+        elif kind == "wide" and record.get("kind") == "replica":
+            # Per-replica events share the batch/query emitter
+            # sequence, so they must stay in the merged "wide" stream
+            # for the gap check to hold.
+            streams["wide"].append(record)
+            streams["replicas"].append(record)
         elif kind == "alert":
             streams["alerts"].append(record)
         else:
@@ -201,6 +207,34 @@ def _serving_panel(health: Sequence[Dict], lines: List[str]) -> None:
         lines.append("  breaker timeline: " + " -> ".join(timeline))
 
 
+def _replication_panel(replicas: Sequence[Dict], width: int,
+                       lines: List[str]) -> None:
+    lines.append("Replication")
+    latest: Dict[str, Dict] = {}
+    lag_series: Dict[str, List[float]] = {}
+    for event in replicas:
+        name = event.get("name", "?")
+        latest[name] = event
+        lag_series.setdefault(name, []).append(
+            float(event.get("lag_batches", 0))
+        )
+    spark_width = max(8, width - 44)
+    for name in sorted(latest):
+        event = latest[name]
+        series = lag_series[name]
+        lines.append(
+            f"  {name:<6}{'up' if event.get('alive') else 'DOWN':<6}"
+            f"lag {sparkline(series, spark_width)} "
+            f"now={event.get('lag_batches', '?')}  "
+            f"applied={event.get('applied_seq', '?')}  "
+            f"fence=e{event.get('fence_epoch', '?')}"
+            + (f"  rejections={event['fence_rejections']}"
+               if event.get("fence_rejections") else "")
+        )
+    last = replicas[-1]
+    lines.append(f"  epoch={last.get('epoch', '?')}")
+
+
 def _latency_panel(streams: Dict[str, List[Dict]], width: int,
                    lines: List[str]) -> None:
     batches = streams["batches"]
@@ -250,6 +284,9 @@ def render_dashboard(streams: Dict[str, List[Dict]],
     lines.append(_rule(width))
     _serving_panel(streams["health"], lines)
     lines.append(_rule(width))
+    if streams["replicas"]:
+        _replication_panel(streams["replicas"], width, lines)
+        lines.append(_rule(width))
     _latency_panel(streams, width, lines)
     warnings = seq_warnings(streams)
     lines.append(_rule(width))

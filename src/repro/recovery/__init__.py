@@ -20,9 +20,11 @@ failpoint; see ``docs/operations.md`` for the operational story.
 from repro.recovery.manager import (
     RecoveryError,
     RecoveryManager,
+    SegmentGapError,
     default_poison_check,
 )
 from repro.recovery.wal import (
+    SealedSegment,
     WALCorruptionError,
     WriteAheadLog,
     batch_to_payload,
@@ -32,6 +34,8 @@ from repro.recovery.wal import (
 __all__ = [
     "RecoveryError",
     "RecoveryManager",
+    "SealedSegment",
+    "SegmentGapError",
     "WALCorruptionError",
     "WriteAheadLog",
     "batch_to_payload",

@@ -48,7 +48,7 @@ from repro.core.model import IncrementalAlgorithm
 from repro.graph.mutation import MutationBatch
 from repro.obs import trace
 from repro.obs.registry import get_registry
-from repro.recovery.wal import WriteAheadLog
+from repro.recovery.wal import SealedSegment, WriteAheadLog
 from repro.runtime.checkpoint import (
     load_engine,
     read_checkpoint_extra,
@@ -57,13 +57,28 @@ from repro.runtime.checkpoint import (
 from repro.testing import faults
 from repro.testing.faults import InjectedCrash
 
-__all__ = ["RecoveryError", "RecoveryManager", "default_poison_check"]
+__all__ = [
+    "RecoveryError",
+    "RecoveryManager",
+    "SegmentGapError",
+    "default_poison_check",
+]
 
 _CKPT_RE = re.compile(r"^ckpt-(\d{20})\.npz$")
 
 
 class RecoveryError(RuntimeError):
     """Recovery cannot proceed (no loadable checkpoint, bad directory)."""
+
+
+class SegmentGapError(RecoveryError):
+    """The sealed-segment sequence has a hole or is reordered.
+
+    Raised by :meth:`RecoveryManager.sealed_segments` instead of
+    letting a shipper (or replayer) silently walk past missing
+    records: a gap means some segment was lost, deleted out-of-band,
+    or delivered out of order, and continuing would fork the state.
+    """
 
 
 def default_poison_check(values: np.ndarray) -> Optional[str]:
@@ -251,6 +266,69 @@ class RecoveryManager:
             "wal.append", lambda: self.wal.append(batch)
         )
 
+    def import_skip_marks(self, marks: Dict[int, str]) -> int:
+        """Merge a writer's durable skip ledger into this one.
+
+        Replication ships the writer's quarantine/shed/supersede map
+        alongside segments so a replica's replay skips exactly the
+        records the writer skipped.  Existing local entries win (they
+        were written for the same reason); returns how many new marks
+        were adopted.
+        """
+        added = 0
+        for seq, reason in marks.items():
+            seq = int(seq)
+            if seq not in self._quarantined:
+                self._quarantined[seq] = str(reason)
+                added += 1
+        if added:
+            _atomic_write_json(
+                self._quarantine_path,
+                {str(seq): reason
+                 for seq, reason in self._quarantined.items()},
+            )
+            get_registry().gauge("recovery.quarantine_size").set(
+                len(self._quarantined)
+            )
+        return added
+
+    # ------------------------------------------------------------------
+    # Sealed segments (the shipping surface of replication)
+    # ------------------------------------------------------------------
+    def sealed_segments(self) -> List[SealedSegment]:
+        """Sealed WAL segments, oldest first, gap-checked.
+
+        The contract shipping relies on: consecutive entries are
+        sequence-contiguous (``prev.end_seq == next.first_seq``) and
+        every file still exists on disk.  A violated contract raises
+        :class:`SegmentGapError` naming the missing range -- never
+        silently skips it -- because replaying or shipping past a hole
+        would fork replica state from the writer's.
+        """
+        sealed = self.wal.sealed_segments()
+        previous: Optional[SealedSegment] = None
+        for segment in sealed:
+            if not os.path.exists(segment.path):
+                raise SegmentGapError(
+                    f"sealed segment {segment.path} (records "
+                    f"[{segment.first_seq}, {segment.end_seq})) vanished "
+                    f"from disk; refusing to ship/replay past the gap"
+                )
+            if previous is not None and segment.first_seq != previous.end_seq:
+                raise SegmentGapError(
+                    f"sealed segments are not contiguous: "
+                    f"{previous.path} ends at seq {previous.end_seq} but "
+                    f"{segment.path} starts at seq {segment.first_seq}; "
+                    f"records [{previous.end_seq}, {segment.first_seq}) "
+                    f"are missing or reordered"
+                )
+            previous = segment
+        return sealed
+
+    def seal_active_segment(self) -> bool:
+        """Force the WAL's open tail sealed so it becomes shippable."""
+        return self.wal.seal_active()
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
@@ -280,6 +358,35 @@ class RecoveryManager:
             )
         registry = get_registry()
         registry.counter("recovery.checkpoints_written").inc()
+        registry.gauge("recovery.last_checkpoint_seq").set(seq)
+        self._rotate()
+        return path
+
+    def adopt_checkpoint(self, seq: int, blob: bytes) -> str:
+        """Install a checkpoint *shipped from a writer* at ``seq``.
+
+        Replicas never snapshot their own engine -- they adopt the
+        writer's atomic checkpoints byte-for-byte, so a promoted
+        replica's directory is structurally identical to a writer's.
+        Written via temp file + ``os.replace`` like a local checkpoint;
+        rotation and WAL GC apply unchanged.  Re-adopting an existing
+        generation is an idempotent no-op.
+        """
+        path = self._checkpoint_path(seq)
+        if os.path.exists(path):
+            return path
+        fd, tmp_path = tempfile.mkstemp(dir=self._checkpoint_dir,
+                                        suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                stream.write(blob)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+            raise
+        registry = get_registry()
+        registry.counter("recovery.checkpoints_adopted").inc()
         registry.gauge("recovery.last_checkpoint_seq").set(seq)
         self._rotate()
         return path

@@ -38,6 +38,7 @@ from repro.testing import faults
 from repro.testing.faults import InjectedCrash
 
 __all__ = [
+    "SealedSegment",
     "WALCorruptionError",
     "WriteAheadLog",
     "batch_to_payload",
@@ -108,6 +109,29 @@ class _Segment:
     records: int
 
 
+@dataclass(frozen=True)
+class SealedSegment:
+    """Shipping view of one sealed (immutable) segment.
+
+    ``first_seq`` / ``end_seq`` bound the records as ``[first, end)``;
+    ``lines`` are the raw encoded records, CRC intact, so a replica can
+    verify them end-to-end with the same :func:`_decode_record` the WAL
+    itself uses.
+    """
+
+    path: str
+    first_seq: int
+    end_seq: int
+
+    @property
+    def records(self) -> int:
+        return self.end_seq - self.first_seq
+
+    def lines(self) -> List[str]:
+        with open(self.path, encoding="utf-8") as stream:
+            return [line for line in stream if line.endswith("\n")]
+
+
 class WriteAheadLog:
     """Append-only, CRC-guarded, torn-tail-tolerant batch log."""
 
@@ -119,6 +143,7 @@ class WriteAheadLog:
         os.makedirs(directory, exist_ok=True)
         self._stream = None
         self._open_segment: Optional[_Segment] = None
+        self._force_sealed: set = set()
         self.torn_records_truncated = 0
         self._segments = self._scan()
         self.next_seq = (
@@ -249,7 +274,9 @@ class WriteAheadLog:
         if self._stream is not None:
             self._stream.close()
             self._stream = None
-        if self._segments and self._segments[-1].records < self.segment_records:
+        if (self._segments
+                and self._segments[-1].records < self.segment_records
+                and self._segments[-1].path not in self._force_sealed):
             segment = self._segments[-1]
             if segment.first_seq + segment.records != first_seq:
                 raise WALCorruptionError(
@@ -303,6 +330,77 @@ class WriteAheadLog:
         if removed:
             get_registry().counter("wal.segments_collected").inc(removed)
         return removed
+
+    # ------------------------------------------------------------------
+    # Sealing / shipping
+    # ------------------------------------------------------------------
+    def _is_sealed(self, segment: _Segment, is_last: bool) -> bool:
+        if not is_last:
+            return True
+        return (segment.records >= self.segment_records
+                or segment.path in self._force_sealed)
+
+    def sealed_segments(self) -> List[SealedSegment]:
+        """Every *sealed* segment, oldest first.
+
+        A segment is sealed when it is full (``segment_records``
+        appends), when :meth:`seal_active` forced it closed, or when a
+        later segment exists -- only the final, still-growing segment
+        is excluded.  Sealed segments never gain records, which is what
+        makes them safe units of shipment for replication.
+        """
+        out: List[SealedSegment] = []
+        for position, segment in enumerate(self._segments):
+            is_last = position == len(self._segments) - 1
+            if segment.records and self._is_sealed(segment, is_last):
+                out.append(SealedSegment(
+                    path=segment.path, first_seq=segment.first_seq,
+                    end_seq=segment.first_seq + segment.records,
+                ))
+        return out
+
+    def seal_active(self) -> bool:
+        """Force the open partial segment sealed (flush + close).
+
+        The next append rolls a fresh segment.  Returns ``True`` if a
+        partial segment was actually sealed; a full or absent tail is a
+        no-op.  Used by the replication writer to ship the WAL tail on
+        demand (promotion, orderly shutdown, final sync).
+        """
+        if not self._segments:
+            return False
+        segment = self._segments[-1]
+        if (segment.records == 0
+                or segment.records >= self.segment_records
+                or segment.path in self._force_sealed):
+            return False
+        self._force_sealed.add(segment.path)
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        self._open_segment = None
+        get_registry().counter("wal.segments_sealed").inc()
+        return True
+
+    def fast_forward(self, seq: int) -> None:
+        """Position an *empty* log at ``seq`` (checkpoint-covered prefix).
+
+        A replica that adopts a checkpoint ahead of its mirror resets
+        the mirror to the checkpoint's position: the superseded records
+        are garbage-collected first, then the next append opens a
+        segment named for ``seq`` -- keeping the scan-time contiguity
+        invariant intact.
+        """
+        if self._segments:
+            raise ValueError(
+                "fast_forward requires an empty log (gc the covered "
+                "segments first)"
+            )
+        if seq < self.next_seq:
+            raise ValueError(
+                f"cannot fast-forward backwards ({self.next_seq} -> {seq})"
+            )
+        self.next_seq = seq
 
     # ------------------------------------------------------------------
     def segments(self) -> List[str]:

@@ -17,15 +17,39 @@ degradation circuit breaker over the recovery path.
 :mod:`repro.serving.observe` attaches the observability layer: a
 :class:`~repro.serving.observe.ServingObserver` turns every applied
 batch and served query into a wide event and an SLO evaluator tick.
+:mod:`repro.serving.replication` ships the durable writer's sealed WAL
+segments and checkpoints to read replicas (with epoch fencing and
+promotion), and :mod:`repro.serving.router` routes deadline-budgeted
+queries across them with lag-aware candidate selection and
+deadline-preserving failover.
 """
 
 from repro.serving.observe import PlantedLatency, ServingObserver
+from repro.serving.replication import (
+    DirectoryTransport,
+    EpochAuthority,
+    InProcessTransport,
+    ReadReplica,
+    ReplicaUnavailableError,
+    ReplicationCluster,
+    ReplicationError,
+    ReplicationGapError,
+    ReplicationWriter,
+    Shipment,
+    replication_status,
+)
 from repro.serving.resilience import (
     ADMISSION_POLICIES,
     BreakerConfig,
     CircuitBreaker,
     HealthSnapshot,
     ResilientAnalyticsServer,
+)
+from repro.serving.router import (
+    NoReplicaAvailableError,
+    QueryRouter,
+    RoutedResult,
+    StalenessError,
 )
 from repro.serving.server import QueryResult, StreamingAnalyticsServer
 from repro.serving.suite import AnalyticsSuite, SuiteRecovery
@@ -35,11 +59,25 @@ __all__ = [
     "AnalyticsSuite",
     "BreakerConfig",
     "CircuitBreaker",
+    "DirectoryTransport",
+    "EpochAuthority",
     "HealthSnapshot",
+    "InProcessTransport",
+    "NoReplicaAvailableError",
     "PlantedLatency",
     "QueryResult",
+    "QueryRouter",
+    "ReadReplica",
+    "ReplicaUnavailableError",
+    "ReplicationCluster",
+    "ReplicationError",
+    "ReplicationGapError",
+    "ReplicationWriter",
     "ResilientAnalyticsServer",
+    "RoutedResult",
     "ServingObserver",
+    "Shipment",
+    "StalenessError",
     "StreamingAnalyticsServer",
     "SuiteRecovery",
 ]

@@ -29,7 +29,7 @@ registry gauges, sinks, dashboard replay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.obs import trace
 from repro.obs.events import WideEventEmitter
@@ -73,11 +73,18 @@ class ServingObserver:
         emitter: Optional[WideEventEmitter] = None,
         planted_latency: Optional[PlantedLatency] = None,
         deterministic: bool = False,
+        staleness_probe: Optional[Callable[[], float]] = None,
     ) -> None:
         self.evaluator = evaluator
         self.emitter = emitter
         self.planted_latency = planted_latency
         self.deterministic = deterministic
+        # When serving replicated, a callable returning the worst
+        # replica backlog of shipped-but-unapplied WAL records
+        # (ReplicationCluster.staleness); feeds the
+        # ``replica_staleness`` SLO signal.  Count-based, so it stays
+        # in deterministic-mode samples.
+        self.staleness_probe = staleness_probe
         self.batches_observed = 0
         self.queries_observed = 0
         self._last_query_seconds: Optional[float] = None
@@ -97,6 +104,10 @@ class ServingObserver:
                 if server.queries_served else 0.0
             ),
         }
+        if self.staleness_probe is not None:
+            health_like["replica_staleness"] = float(
+                self.staleness_probe()
+            )
         if not self.deterministic:
             health_like["ingest_latency"] = ingest_seconds
             if self._last_query_seconds is not None:

@@ -467,13 +467,23 @@ class ResilientAnalyticsServer:
                        and self.breaker.allows_apply()):
                     self._apply_head()
             elif policy == "shed-oldest":
+                # The queue head is the designated HALF_OPEN probe
+                # batch: shedding it spends the cooldown cycle the
+                # breaker just paid for on nothing, and the restore
+                # budget (one probe -- at most one restore -- per OPEN
+                # period) stops matching reality when a fresher,
+                # unvetted batch gets probed in its place.  Preserve
+                # the head and shed the oldest non-probe entry instead
+                # (over capacity implies at least two entries).
+                preserve = 1 if self.breaker.wants_probe() else 0
                 while len(self._queue) > self.queue_capacity:
-                    self._shed_head()
+                    self._shed_entry(preserve)
             else:  # coalesce
                 self._coalesce_queue()
 
-    def _shed_head(self) -> None:
-        seq, _, constituents = self._queue.popleft()
+    def _shed_entry(self, position: int = 0) -> None:
+        seq, _, constituents = self._queue[position]
+        del self._queue[position]
         if seq is not None:
             self.server.recovery.shed(
                 seq, f"queue over capacity {self.queue_capacity}"
@@ -667,6 +677,26 @@ class ResilientAnalyticsServer:
 
     def _publish_queue_gauges(self) -> None:
         get_registry().gauge("serving.queue_depth").set(len(self._queue))
+
+    # ------------------------------------------------------------------
+    def stable_seq(self) -> int:
+        """First WAL sequence whose fate is still *undecided*.
+
+        Every record below this boundary is resolved -- applied, shed,
+        or superseded -- so it is safe to ship to a read replica.  A
+        queued record is not: shed-oldest could still durably skip it,
+        and a replica that had already applied it would fork.  The
+        queue is FIFO in sequence order, so the boundary is the first
+        queued entry's sequence (or the WAL head when the queue is
+        empty).
+        """
+        for seq, _, _ in self._queue:
+            if seq is not None:
+                return seq
+        recovery = self.server.recovery
+        return recovery.wal.next_seq if recovery is not None else (
+            self.applied
+        )
 
     # ------------------------------------------------------------------
     @property

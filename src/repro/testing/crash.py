@@ -49,8 +49,11 @@ from repro.testing.workloads import Workload, generate_workload
 __all__ = [
     "CrashFuzzOutcome",
     "CrashRound",
+    "REPLICATION_SCENARIOS",
     "crash_recovery_equivalence",
     "deterministic_site_sweep",
+    "replicated_crash_equivalence",
+    "replicated_scenario_sweep",
     "resilient_crash_equivalence",
     "resilient_site_sweep",
     "run_crash_fuzz",
@@ -89,8 +92,12 @@ class CrashRound:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"MISMATCH ({self.detail})"
-        fired = (f"crashed x{self.crashes}" if self.crashes
-                 else "failpoint never reached")
+        if self.crashes:
+            fired = f"crashed x{self.crashes}"
+        elif self.fired:
+            fired = "fault fired"
+        else:
+            fired = "failpoint never reached"
         return (
             f"seed={self.seed} kill@{self.site}#{self.hit} "
             f"[{fired}, torn={self.torn_truncated}] {status}"
@@ -493,6 +500,216 @@ def resilient_site_sweep(
         round_ = resilient_crash_equivalence(workload, site, hit,
                                              state_dir,
                                              checkpoint_every=2)
+        results.append(round_)
+        emit(round_.summary())
+        if round_.ok:
+            shutil.rmtree(state_dir, ignore_errors=True)
+    return results
+
+
+#: The replicated acceptance sweep (``repro fuzz --crash --replicated``):
+#: every scenario must leave every surviving replica bit-for-bit equal
+#: to both the writer and the serial uninterrupted reference.
+REPLICATION_SCENARIOS = (
+    "writer-kill",
+    "replica-kill",
+    "segment-drop",
+    "stale-writer-fence",
+)
+
+#: Failpoint armed per scenario; ``stale-writer-fence`` is pure
+#: choreography (promotion + a late-shipping deposed writer).
+_REPLICATION_ARMS = {
+    "writer-kill": ("replication.ship", "crash", 3),
+    "replica-kill": ("replication.receive", "crash", 2),
+    "segment-drop": ("replication.ship", "fault", 2),
+    "stale-writer-fence": None,
+}
+
+
+def replicated_crash_equivalence(
+    workload: Workload,
+    scenario: str,
+    state_root: str,
+    checkpoint_every: int = 2,
+    segment_records: int = 2,
+    replicas: int = 2,
+) -> CrashRound:
+    """One replicated kill-and-converge scenario; see
+    :data:`REPLICATION_SCENARIOS`.
+
+    Property under test: **replication is lossless and fenced**.  After
+    the planted failure plus a final sync, every surviving replica's
+    main-loop values are bit-for-bit the serial uninterrupted run's
+    (and the writer's); for ``stale-writer-fence``, additionally every
+    late shipment from the deposed writer must land on the survivor's
+    durable fence ledger with a stale epoch -- rejected *provably*, not
+    dropped.
+    """
+    from repro.serving.replication import ReplicationCluster
+    from repro.serving.resilience import ResilientAnalyticsServer
+
+    if scenario not in REPLICATION_SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; pick from "
+            f"{REPLICATION_SCENARIOS}"
+        )
+    profile = workload.profile
+    schedule = workload.schedule
+    expected = _uninterrupted_values(workload)
+    arm = _REPLICATION_ARMS[scenario]
+    round_ = CrashRound(
+        seed=workload.seed, workload=workload.describe(),
+        site=scenario, hit=arm[2] if arm else 0,
+        batches=len(schedule),
+    )
+    make = dict(queue_capacity=len(schedule) + 2, admission="block")
+
+    def build() -> ReplicationCluster:
+        manager = RecoveryManager(
+            state_root, checkpoint_every=checkpoint_every, retain=2,
+            segment_records=segment_records,
+        )
+        server = StreamingAnalyticsServer(
+            profile.factory, workload.build_graph(),
+            approx_iterations=APPROX_ITERATIONS, recovery=manager,
+        )
+        resilient = ResilientAnalyticsServer(server, **make)
+        return ReplicationCluster(
+            resilient, profile.factory, state_root, replicas=replicas,
+        )
+
+    def absorb_crash(cluster: ReplicationCluster,
+                     crash: InjectedCrash) -> None:
+        """The driver plays the OS: restart whichever process died."""
+        round_.crashes += 1
+        if crash.site == "replication.receive":
+            casualty = cluster.delivering
+            cluster.kill_replica(casualty)
+            cluster.restart_replica(casualty)
+        else:
+            cluster.restart_writer(**make)
+
+    with scoped_failpoints() as registry:
+        if arm is not None:
+            registry.arm(arm[0], kind=arm[1], hit=arm[2])
+        cluster = build()
+        if scenario == "stale-writer-fence":
+            # Replicate a prefix, run the writer ahead un-replicated,
+            # promote a replica, then let the deposed writer ship its
+            # tail late: the survivor must reject it onto the ledger.
+            prefix = max(2, len(schedule) // 2)
+            for batch in schedule[:prefix]:
+                cluster.submit(batch)
+                cluster.replicate()
+            for batch in schedule[prefix:]:
+                cluster.submit(batch)
+            promoted = cluster.promote("r0", **make)
+            deposed = cluster.deposed[-1]
+            deposed.seal_tail()
+            deposed.ship()
+            cluster.deliver()
+            survivor = cluster.replicas["r1"]
+            ledger = survivor.fence_ledger()
+            new_epoch = cluster.authority.epoch
+            if not ledger:
+                round_.detail = (
+                    "deposed writer's late shipments left no fence-"
+                    "ledger entries on the survivor"
+                )
+            elif any(entry["epoch"] >= new_epoch for entry in ledger):
+                round_.detail = (
+                    f"fence ledger holds a non-stale epoch "
+                    f"(>= {new_epoch})"
+                )
+            round_.fired = bool(ledger)
+            # The promoted writer recovered every *replicated* batch;
+            # the client (us) re-drives the unacknowledged tail.
+            for batch in schedule[promoted.server.batches_ingested:]:
+                cluster.submit(batch)
+                cluster.replicate()
+            cluster.sync()
+        else:
+            index = 0
+            while index < len(schedule):
+                try:
+                    cluster.submit(schedule[index])
+                    index = cluster.writer.server.batches_ingested
+                    cluster.replicate()
+                except InjectedCrash as crash:
+                    absorb_crash(cluster, crash)
+                    index = cluster.writer.server.batches_ingested
+            try:
+                cluster.sync()
+            except InjectedCrash as crash:
+                absorb_crash(cluster, crash)
+                cluster.sync()
+            round_.fired = bool(registry.fired)
+            if scenario == "segment-drop" and round_.fired:
+                healed = (cluster.gap_resyncs
+                          + cluster.writer_node.resyncs)
+                if healed < 1:
+                    round_.detail = (
+                        "segment drop fired but no resync healed it"
+                    )
+
+        round_.quarantined = len(
+            cluster.writer_node.manager.poison_quarantined()
+        )
+        writer_values = np.asarray(
+            cluster.writer.approximate_values, dtype=np.float64
+        ).copy()
+        lag = cluster.max_lag()
+        verdicts = []
+        verdicts.append(("writer", compare_snapshots(
+            writer_values, expected, tolerance=0.0)))
+        for name, replica in sorted(cluster.replicas.items()):
+            actual = np.asarray(replica.approximate_values,
+                                dtype=np.float64)
+            verdicts.append((name, compare_snapshots(
+                actual, expected, tolerance=0.0)))
+            verdicts.append((f"{name} vs writer", compare_snapshots(
+                actual, writer_values, tolerance=0.0)))
+        cluster.close()
+
+    if not round_.detail:
+        for who, verdict in verdicts:
+            if verdict is not None:
+                kind, detail, _ = verdict
+                round_.detail = f"{who} diverged -- {kind}: {detail}"
+                break
+        else:
+            if not round_.fired:
+                round_.detail = "planted failure never fired"
+            elif lag > 0:
+                round_.detail = (
+                    f"replica(s) still lag the writer by {lag} after "
+                    f"final sync"
+                )
+            elif round_.quarantined:
+                round_.detail = (
+                    f"{round_.quarantined} batch(es) quarantined on "
+                    f"a healthy workload"
+                )
+            else:
+                round_.equivalent = True
+    return round_
+
+
+def replicated_scenario_sweep(
+    seed: int = 7,
+    state_root: Optional[str] = None,
+    emit: Callable[[str], None] = lambda _: None,
+) -> List[CrashRound]:
+    """Every replication scenario on one fixed workload -- the
+    acceptance gate for ``repro fuzz --crash --replicated``."""
+    workload = _workload_with_batches(seed, minimum=4)
+    root = state_root or tempfile.mkdtemp(prefix="replicated-sweep-")
+    results = []
+    for scenario in REPLICATION_SCENARIOS:
+        state_dir = os.path.join(root, scenario.replace("-", "_"))
+        round_ = replicated_crash_equivalence(workload, scenario,
+                                              state_dir)
         results.append(round_)
         emit(round_.summary())
         if round_.ok:

@@ -41,6 +41,7 @@ __all__ = [
     "InjectedCrash",
     "InjectedFault",
     "KNOWN_SITES",
+    "REPLICATION_SITES",
     "RESILIENCE_SITES",
     "get_failpoints",
     "hit",
@@ -70,7 +71,21 @@ __all__ = [
 #: ``query.deadline``    at the start of a deadline-budgeted query,
 #:                       before the branch state is copied;
 #: ``breaker.probe``     before a half-open circuit breaker sends its
-#:                       trial batch through the full path.
+#:                       trial batch through the full path;
+#: ``replication.ship``  before a sealed-segment/checkpoint shipment is
+#:                       handed to a replica's transport (crash = the
+#:                       writer dies mid-ship; fault = the shipment is
+#:                       lost in transit -- a planted segment drop);
+#: ``replication.reorder`` inside the transport send path; a fault
+#:                       holds the shipment back so the *next* one is
+#:                       delivered first (a planted reorder);
+#: ``replication.receive`` before a replica applies a delivered
+#:                       shipment (crash = the replica dies mid-apply;
+#:                       fault = delivery is deferred -- planted
+#:                       replica lag);
+#: ``replica.query``     at the start of a replica-served query (fault
+#:                       = the replica fails mid-query, which is what
+#:                       drives router failover).
 KNOWN_SITES = (
     "wal.append",
     "wal.append.torn",
@@ -81,16 +96,25 @@ KNOWN_SITES = (
     "admission.enqueue",
     "query.deadline",
     "breaker.probe",
+    "replication.ship",
+    "replication.reorder",
+    "replication.receive",
+    "replica.query",
 )
 
 #: The sites exercised by a plain durable server (no admission layer).
 #: ``deterministic_site_sweep`` iterates these; the resilient sweep
-#: (``resilient_site_sweep``) covers the admission-layer sites above.
+#: (``resilient_site_sweep``) covers the admission-layer sites and the
+#: replicated sweep (``replicated_scenario_sweep``) the shipping path.
 DURABLE_SITES = KNOWN_SITES[:6]
 
 #: The sites only a resilient server (admission + breaker + deadline
 #: queries) passes through.
-RESILIENCE_SITES = KNOWN_SITES[6:]
+RESILIENCE_SITES = KNOWN_SITES[6:9]
+
+#: The sites only the replication layer (writer shipping, replica
+#: apply, replica-served queries) passes through.
+REPLICATION_SITES = KNOWN_SITES[9:]
 
 _KINDS = ("crash", "fault")
 

@@ -366,3 +366,64 @@ fixed:
             "engine: graphbolt", "engine: ligra"))
         with pytest.raises(MatrixError, match="GraphBolt-based"):
             load_table(path)
+
+
+REPLICATION_TABLE = """
+schema: 1
+area: tinyrepl
+axes:
+  replication: ["off", 2-replica, 2-replica+lag-fault]
+fixed:
+  topology: rmat
+  scale: 5
+  algorithm: PR
+  engine: graphbolt
+  batch_size: 5
+  num_batches: 4
+  iterations: 3
+  seed: 3
+"""
+
+
+class TestReplicationAxis:
+    def test_parse_replication_vocabulary(self):
+        from repro.bench.matrix import _parse_replication
+
+        assert _parse_replication("off") == (0, False)
+        assert _parse_replication("2-replica") == (2, False)
+        assert _parse_replication("3-replica+lag-fault") == (3, True)
+        for bad in ("on", "0-replica", "replica", "2-replica+chaos",
+                    "x-replica"):
+            with pytest.raises(MatrixError, match="replication plan"):
+                _parse_replication(bad)
+
+    def test_bundled_replication_table_expands(self):
+        table = load_table("replication")
+        assert table.area == "replication"
+        specs = expand(table)
+        # 3 replication plans x 2 admission policies.
+        assert len(specs) == 6
+        assert len({spec.run_id for spec in specs}) == 6
+
+    def test_replication_implies_serving_and_reports_work(self,
+                                                          tmp_path):
+        path = write_table(tmp_path, REPLICATION_TABLE)
+        table = load_table(path)
+        payload = run_matrix(table)
+        runs = {run["config"]["replication"]: run
+                for run in payload["runs"]}
+        assert runs["off"]["mode"] == "engine"
+        assert "replication_lag_max" not in runs["off"]["work"]
+        for plan in ("2-replica", "2-replica+lag-fault"):
+            work = runs[plan]["work"]
+            assert runs[plan]["mode"] == "serving"
+            assert work["replicas_converged"] == 1
+            assert work["fence_rejections"] == 0
+        # The planted delivery-lag fault is visible in the work
+        # column -- and only there.
+        assert runs["2-replica"]["work"]["replication_lag_max"] == 0
+        assert runs["2-replica+lag-fault"]["work"][
+            "replication_lag_max"] > 0
+        # Count-based columns: the whole payload is gate-stable.
+        assert canonical_payload(payload) == canonical_payload(
+            run_matrix(table))

@@ -205,3 +205,51 @@ class TestRenderDashboard:
     def test_missing_journal_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             dashboard_from_journal(str(tmp_path / "absent.jsonl"))
+
+
+def replica_event(seq, name, lag, alive=True, rejections=0, epoch=1):
+    return {
+        "type": "wide", "kind": "replica", "seq": seq, "name": name,
+        "alive": alive, "applied_seq": 10 - lag, "lag_batches": lag,
+        "fence_epoch": epoch, "fence_rejections": rejections,
+        "inbox_pending": 0, "epoch": epoch,
+    }
+
+
+class TestReplicationPanel:
+    def test_replica_events_stay_in_the_merged_wide_stream(self):
+        """Replica events share the batch/query emitter sequence: they
+        must ride the merged stream or the gap check sees bogus holes."""
+        records = [
+            batch_event(0, 0, 0.01),
+            replica_event(1, "r0", 0),
+            replica_event(2, "r1", 1),
+            batch_event(3, 1, 0.01),
+        ]
+        streams = split_journal(records)
+        assert len(streams["replicas"]) == 2
+        assert len(streams["batches"]) == 2
+        assert [r["seq"] for r in streams["wide"]] == [0, 1, 2, 3]
+        assert seq_warnings(streams) == []
+
+    def test_panel_renders_lag_fence_and_liveness(self):
+        records = [
+            replica_event(0, "r0", 0),
+            replica_event(1, "r1", 0),
+            replica_event(2, "r0", 3, alive=False),
+            replica_event(3, "r1", 0, rejections=2, epoch=2),
+        ]
+        with scoped_registry():
+            text = render_dashboard(split_journal(records))
+        assert "Replication" in text
+        assert "DOWN" in text            # r0's final state
+        assert "fence=e2" in text        # r1 fenced at the new epoch
+        assert "rejections=2" in text
+        assert "epoch=2" in text
+        assert "now=3" in text           # r0's last reported lag
+
+    def test_no_replica_events_no_panel(self):
+        with scoped_registry():
+            text = render_dashboard(
+                split_journal([batch_event(0, 0, 0.01)]))
+        assert "Replication" not in text

@@ -77,3 +77,26 @@ class TestCampaign:
 class TestPlantFault:
     def test_plant_a_fault_detects_live_failpoints(self):
         assert run_plant_fault(emit=lambda _: None)
+
+
+class TestReplicatedSweep:
+    def test_every_scenario_converges_and_fences(self, tmp_path):
+        """The replicated acceptance gate (`repro fuzz --crash
+        --replicated`): writer kill, replica kill, segment drop, and a
+        fenced stale writer all end with every surviving replica
+        bit-for-bit equal to the writer and the serial reference --
+        and the planted failure provably fired."""
+        from repro.testing.crash import (
+            REPLICATION_SCENARIOS,
+            replicated_scenario_sweep,
+        )
+
+        rounds = replicated_scenario_sweep(seed=7,
+                                           state_root=str(tmp_path))
+        assert [r.site for r in rounds] == list(REPLICATION_SCENARIOS)
+        for round_ in rounds:
+            assert round_.ok, round_.summary()
+            assert round_.fired, (
+                f"{round_.site}: the planted failure never fired, so "
+                f"the round proved nothing"
+            )

@@ -234,3 +234,77 @@ class TestDirectoryGuards:
         with pytest.raises(RecoveryError, match="manifest"):
             manager.read_manifest()
         manager.close()
+
+
+class TestShippingSurface:
+    """The contracts replication ships over: gap-checked sealed
+    segments, adopted checkpoints, and the merged skip ledger."""
+
+    def logged(self, tmp_path, graph, rng, count=5):
+        manager = RecoveryManager(str(tmp_path), checkpoint_every=100,
+                                  segment_records=2)
+        for _ in range(count):
+            manager.log_batch(make_random_batch(graph, rng, 4, 4))
+        return manager
+
+    def test_sealed_segments_are_contiguous(self, tmp_path, graph, rng):
+        manager = self.logged(tmp_path, graph, rng)
+        sealed = manager.sealed_segments()
+        assert [(s.first_seq, s.end_seq) for s in sealed] == [
+            (0, 2), (2, 4)]
+        assert manager.seal_active_segment() is True
+        assert manager.sealed_segments()[-1].end_seq == 5
+        manager.close()
+
+    def test_vanished_segment_raises_instead_of_skipping(
+            self, tmp_path, graph, rng):
+        from repro.recovery import SegmentGapError
+
+        manager = self.logged(tmp_path, graph, rng)
+        victim = manager.sealed_segments()[0]
+        os.remove(victim.path)
+        # Shipping or replaying past the hole would fork replica state
+        # from the writer's: the gap check names the missing range.
+        with pytest.raises(SegmentGapError, match="vanished"):
+            manager.sealed_segments()
+        manager.close()
+
+    def test_adopt_checkpoint_installs_the_writer_blob(
+            self, tmp_path, graph, rng):
+        live = fresh_engine(graph)
+        writer = RecoveryManager(str(tmp_path / "writer"),
+                                 checkpoint_every=100)
+        path = writer.checkpoint(live, 4)
+        with open(path, "rb") as stream:
+            blob = stream.read()
+        writer.close()
+
+        replica = RecoveryManager(str(tmp_path / "replica"),
+                                  checkpoint_every=100)
+        adopted = replica.adopt_checkpoint(4, blob)
+        assert replica.checkpoints() == [(4, adopted)]
+        # Byte-for-byte adoption: the restored engine is the writer's.
+        restored, seq = replica.restore_engine(factory)
+        assert seq == 4
+        assert np.array_equal(restored.values, live.values)
+        # Re-adopting an existing generation is an idempotent no-op.
+        assert replica.adopt_checkpoint(4, b"garbage") == adopted
+        restored2, _ = replica.restore_engine(factory)
+        assert np.array_equal(restored2.values, live.values)
+        replica.close()
+
+    def test_import_skip_marks_keeps_local_entries(self, tmp_path):
+        manager = RecoveryManager(str(tmp_path), checkpoint_every=100)
+        manager.shed(0, "queue over capacity 1")
+        added = manager.import_skip_marks(
+            {0: "writer says otherwise", 3: "shed: writer pressure"})
+        assert added == 1
+        reasons = manager.quarantine_reasons()
+        assert reasons[0] == "shed: queue over capacity 1"  # local wins
+        assert reasons[3] == "shed: writer pressure"
+        # The merged ledger is durable.
+        manager.close()
+        reopened = RecoveryManager(str(tmp_path), checkpoint_every=100)
+        assert reopened.quarantined == frozenset({0, 3})
+        assert reopened.poison_quarantined() == frozenset()
+        reopened.close()

@@ -190,3 +190,67 @@ class TestGC:
             wal.close()
         wal = WriteAheadLog(str(tmp_path))
         assert wal.next_seq == 1  # the crashed append never committed
+
+
+class TestSealedSegments:
+    def test_full_segments_are_sealed_open_tail_is_not(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_records=2)
+        for batch in make_batches(5):
+            wal.append(batch)
+        sealed = wal.sealed_segments()
+        # Two full segments; the 1-record tail is still growing.
+        assert [(s.first_seq, s.end_seq) for s in sealed] == [
+            (0, 2), (2, 4)]
+        assert all(os.path.exists(s.path) for s in sealed)
+        # A sealed segment's raw lines decode to its exact records.
+        assert [json.loads(line)["seq"] for line in sealed[0].lines()
+                ] == [0, 1]
+        wal.close()
+
+    def test_seal_active_makes_the_tail_shippable(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_records=4)
+        batches = make_batches(3)
+        for batch in batches:
+            wal.append(batch)
+        assert wal.sealed_segments() == []
+        assert wal.seal_active() is True
+        assert wal.seal_active() is False  # idempotent no-op
+        (tail,) = wal.sealed_segments()
+        assert (tail.first_seq, tail.end_seq) == (0, 3)
+        # The next append rolls a fresh segment at the frozen boundary.
+        assert wal.append(make_batches(1, seed=9)[0]) == 3
+        assert len(wal.segments()) == 2
+        wal.close()
+
+    def test_seal_active_on_empty_log_is_a_noop(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.seal_active() is False
+        wal.close()
+
+
+class TestFastForward:
+    def test_positions_an_empty_log_for_checkpoint_adoption(
+            self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_records=2)
+        wal.fast_forward(6)
+        assert wal.next_seq == 6
+        # Appends resume at the adopted position.
+        assert wal.append(make_batches(1)[0]) == 6
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path), segment_records=2)
+        assert reopened.next_seq == 7
+        reopened.close()
+
+    def test_requires_an_empty_log(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(make_batches(1)[0])
+        with pytest.raises(ValueError, match="empty"):
+            wal.fast_forward(5)
+        wal.close()
+
+    def test_refuses_to_rewind(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.fast_forward(4)
+        with pytest.raises(ValueError, match="backwards"):
+            wal.fast_forward(2)
+        wal.close()

@@ -504,6 +504,55 @@ class TestFlappingPoison:
 
 
 # ----------------------------------------------------------------------
+# HALF_OPEN probe preservation under shed-oldest pressure
+# ----------------------------------------------------------------------
+class TestProbeShedPreservation:
+    def test_shed_oldest_never_sheds_the_probe_head(self, graph, rng,
+                                                    tmp_path):
+        """Regression pin: during HALF_OPEN the queue head is the
+        designated probe batch.  An overflow under shed-oldest must
+        shed the oldest *non-probe* entry -- shedding the head would
+        spend the cooldown the breaker just paid for on probing a
+        fresher, unvetted batch (here: poison), consuming a restore
+        and re-opening instead of closing for free."""
+        manager = RecoveryManager(str(tmp_path), checkpoint_every=100,
+                                  poison_check=growth_poison_check)
+        resilient = ResilientAnalyticsServer(
+            plain_server(graph, recovery=manager),
+            queue_capacity=1, admission="shed-oldest",
+            breaker=BreakerConfig(quarantine_threshold=2,
+                                  cooldown_submits=2,
+                                  degraded_admission="shed-oldest"),
+        )
+        resilient.submit(poison_batch())  # seq 0: quarantined
+        resilient.submit(poison_batch())  # seq 1: quarantined, trips
+        assert resilient.breaker.state == "open"
+        restores_before = resilient.server.restores
+        clean = make_random_batch(graph, rng, 6, 6)
+        resilient.submit(clean)           # seq 2: deferred, queue head
+        assert resilient.breaker.state == "open"
+        # seq 3 overflows capacity 1 exactly as the cooldown elapses:
+        # the breaker is HALF_OPEN and the head is the probe.
+        resilient.submit(poison_batch())
+        assert resilient.breaker.state == "closed"
+        assert resilient.breaker.transitions[-1].to_state == "closed"
+        # The clean head was probed (and applied); the fresher poison
+        # batch was the one shed -- durably, as bookkeeping not poison.
+        reasons = manager.quarantine_reasons()
+        assert reasons[3].startswith("shed:")
+        assert 2 not in manager.quarantined
+        assert 3 not in manager.poison_quarantined()
+        # No restore was spent probing poison.
+        assert resilient.server.restores == restores_before
+        assert resilient.queue_depth == 0
+        shadow = plain_server(graph)
+        shadow.ingest(clean)
+        assert np.array_equal(resilient.approximate_values,
+                              shadow.approximate_values)
+        manager.close()
+
+
+# ----------------------------------------------------------------------
 # Health surface
 # ----------------------------------------------------------------------
 class TestHealth:

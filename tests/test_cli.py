@@ -440,3 +440,103 @@ class TestSLOAndDashCommands:
         assert main(["trace", "rmat:6:4", "--batches", "2",
                      "--batch-size", "4", "--iterations", "2"]) == 0
         assert "WARNING" not in capsys.readouterr().out
+
+
+class TestReplicatedServe:
+    SERVE = ["serve", "rmat:6:4", "--batches", "6", "--batch-size", "8",
+             "--iterations", "3"]
+
+    def test_replicas_require_wal(self, capsys):
+        assert main(self.SERVE + ["--replicas", "2"]) == 2
+        assert "--wal" in capsys.readouterr().out
+
+    def test_kill_replica_requires_replicas(self, tmp_path, capsys):
+        assert main(self.SERVE + ["--wal", str(tmp_path / "s"),
+                                  "--kill-replica", "0:2"]) == 2
+        assert "--replicas" in capsys.readouterr().out
+
+    def test_bad_kill_spec_rejected(self, tmp_path, capsys):
+        assert main(self.SERVE + ["--wal", str(tmp_path / "s"),
+                                  "--replicas", "2",
+                                  "--kill-replica", "nope"]) == 2
+        assert "I:AT" in capsys.readouterr().out
+
+    def test_fuzz_replicated_requires_crash(self, capsys):
+        assert main(["fuzz", "--replicated"]) == 2
+        assert "--crash" in capsys.readouterr().out
+
+    def test_replicated_soak_with_kill_and_restart(self, tmp_path,
+                                                   capsys):
+        state = str(tmp_path / "state")
+        code = main(self.SERVE + [
+            "--wal", state, "--checkpoint-every", "2",
+            "--replicas", "2", "--kill-replica", "0:2:4", "--status",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SOAK FAIL" not in out
+        summary = next(line for line in out.splitlines()
+                       if line.startswith("replication: "))
+        assert "epoch=1" in summary
+        assert "r0=up" in summary and "r1=up" in summary
+        # The same tree inspects cleanly offline.
+        assert main(["replication-status", state]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["epoch"] == 1
+        assert report["writer"]["next_seq"] == 6
+        assert {name: info["next_seq"]
+                for name, info in report["replicas"].items()} == {
+            "r0": 6, "r1": 6}
+
+    def test_replication_status_missing_dir(self, tmp_path, capsys):
+        from repro.serving import ReplicationError
+
+        with pytest.raises(ReplicationError, match="not a directory"):
+            main(["replication-status", str(tmp_path / "absent")])
+
+
+class TestDashExpectResolved:
+    def journal(self, tmp_path, violate=range(6, 10), total=16):
+        path = tmp_path / "wide.jsonl"
+        lines = []
+        for index in range(total):
+            staleness = 5.0 if index in violate else 0.0
+            lines.append(json.dumps({
+                "type": "wide", "kind": "batch", "seq": index,
+                "index": index, "seconds": 0.01,
+                "ingest_seconds": 0.01, "breaker_state": "closed",
+                "queue_depth": 0,
+                "samples": {"replica_staleness": staleness},
+            }))
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_fired_and_resolved_assertions_pass(self, tmp_path, capsys):
+        """A replica-staleness excursion that later clears must satisfy
+        both --expect-alert and --expect-resolved on replay."""
+        journal = self.journal(tmp_path)
+        assert main(["dash", "--once", "--from-journal", journal,
+                     "--slo", "replication",
+                     "--expect-alert", "replica-staleness",
+                     "--expect-resolved", "replica-staleness"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPECT FAIL" not in out
+
+    def test_unresolved_page_fails_the_expectation(self, tmp_path,
+                                                   capsys):
+        # The violation runs to the end of the journal: fired but
+        # never resolved.
+        journal = self.journal(tmp_path, violate=range(6, 16))
+        assert main(["dash", "--once", "--from-journal", journal,
+                     "--slo", "replication",
+                     "--expect-alert", "replica-staleness",
+                     "--expect-resolved", "replica-staleness"]) == 1
+        assert "EXPECT FAIL" in capsys.readouterr().out
+
+    def test_clean_journal_fails_resolved_expectation(self, tmp_path,
+                                                      capsys):
+        journal = self.journal(tmp_path, violate=())
+        assert main(["dash", "--once", "--from-journal", journal,
+                     "--slo", "replication",
+                     "--expect-resolved", "any"]) == 1
+        assert "EXPECT FAIL" in capsys.readouterr().out

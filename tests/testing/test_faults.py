@@ -108,12 +108,26 @@ class TestSiteRoster:
             assert site not in DURABLE_SITES
 
     def test_split_partitions_the_roster(self):
-        from repro.testing.faults import DURABLE_SITES, RESILIENCE_SITES
-
-        assert tuple(DURABLE_SITES) + tuple(RESILIENCE_SITES) == tuple(
-            KNOWN_SITES
+        from repro.testing.faults import (
+            DURABLE_SITES,
+            REPLICATION_SITES,
+            RESILIENCE_SITES,
         )
+
+        assert (tuple(DURABLE_SITES) + tuple(RESILIENCE_SITES)
+                + tuple(REPLICATION_SITES)) == tuple(KNOWN_SITES)
         assert not set(DURABLE_SITES) & set(RESILIENCE_SITES)
+        assert not set(DURABLE_SITES) & set(REPLICATION_SITES)
+        assert not set(RESILIENCE_SITES) & set(REPLICATION_SITES)
+
+    def test_replication_sites_registered(self):
+        from repro.testing.faults import DURABLE_SITES, REPLICATION_SITES
+
+        for site in ("replication.ship", "replication.reorder",
+                     "replication.receive", "replica.query"):
+            assert site in KNOWN_SITES
+            assert site in REPLICATION_SITES
+            assert site not in DURABLE_SITES
 
     def test_new_sites_armable(self):
         registry = FailpointRegistry()
