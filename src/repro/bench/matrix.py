@@ -7,9 +7,9 @@ muBench's 180-run experiment definition and stack_route_sim's
 ``ExperimentRunner``/``scrape_metrics`` loop (SNIPPETS.md snippets 2/3):
 
 - :func:`load_table` parses and validates a YAML run table whose
-  ``axes`` (topology, scale, algorithm, engine, backend, scenario,
-  admission, faults, replication, slo, ...) are expanded as a
-  cartesian product, minus declared ``exclude`` combinations;
+  ``axes`` (topology, scale, algorithm, engine, backend, storage,
+  scenario, admission, faults, replication, slo, ...) are expanded as
+  a cartesian product, minus declared ``exclude`` combinations;
 - :func:`run_matrix` executes every expanded run deterministically,
   scraping each through a scoped PR-2 metrics registry, and assembles a
   schema-versioned ``BENCH_<area>.json`` payload (config hash, seed,
@@ -28,12 +28,14 @@ suite routes their previously hand-built configs through
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import itertools
 import json
 import os
 import tempfile
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -43,7 +45,7 @@ from repro.graph import generators
 from repro.graph.csr import CSRGraph
 from repro.graph.mutation import MutationBatch
 from repro.graph.stream import hotspot_storm
-from repro.obs.registry import scoped_registry
+from repro.obs.registry import peak_rss_bytes, scoped_registry
 from repro.runtime.exec import (
     ExecutionBackend,
     SerialBackend,
@@ -74,10 +76,10 @@ SCHEMA_VERSION = 1
 
 #: Canonical config-key order; also the run-id segment order.
 AXIS_ORDER = (
-    "topology", "scale", "algorithm", "engine", "backend", "scenario",
-    "admission", "faults", "replication", "slo", "batch_size",
-    "num_batches", "iterations", "delete_fraction", "edge_factor",
-    "seed",
+    "topology", "scale", "algorithm", "engine", "backend", "storage",
+    "scenario", "admission", "faults", "replication", "slo",
+    "batch_size", "num_batches", "iterations", "delete_fraction",
+    "edge_factor", "seed",
 )
 
 #: Per-key defaults merged under ``fixed``.
@@ -87,6 +89,7 @@ DEFAULTS: Dict[str, object] = {
     "algorithm": "PR",
     "engine": "graphbolt",
     "backend": "serial",
+    "storage": "heap",
     "scenario": "uniform",
     "admission": "none",
     "faults": "none",
@@ -100,8 +103,9 @@ DEFAULTS: Dict[str, object] = {
     "seed": 0,
 }
 
-TOPOLOGIES = ("rmat", "ws", "er", "paper")
+TOPOLOGIES = ("rmat", "rmat_xl", "ws", "er", "paper")
 ENGINES = ("ligra", "gbreset", "graphbolt")
+STORAGES = ("heap", "mmap")
 SCENARIOS = ("uniform", "hi", "lo", "hotspot_storm")
 ADMISSIONS = ("none", "block", "shed-oldest", "coalesce")
 REPLICATIONS = ("off", "2-replica", "2-replica+lag-fault")
@@ -241,6 +245,9 @@ def _check_value(table_path: str, key: str, value: object) -> None:
     if key == "engine" and value not in ENGINES:
         raise MatrixError(
             f"{table_path}: engine {value!r} not in {ENGINES}")
+    if key == "storage" and value not in STORAGES:
+        raise MatrixError(
+            f"{table_path}: storage {value!r} not in {STORAGES}")
     if key == "scenario" and value not in SCENARIOS:
         raise MatrixError(
             f"{table_path}: scenario {value!r} not in {SCENARIOS}")
@@ -407,26 +414,54 @@ def canonical_payload(payload: Dict) -> str:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def _build_graph(config: Dict) -> CSRGraph:
+def _make_store(storage: str, stack: contextlib.ExitStack):
+    """The cell's snapshot store; mmap cells spool into a per-run
+    temporary directory that the stack tears down."""
+    from repro.graph.storage import store_from_spec
+
+    if storage == "heap":
+        return store_from_spec("heap")
+    root = stack.enter_context(
+        tempfile.TemporaryDirectory(prefix="repro-matrix-store-"))
+    return store_from_spec(f"{storage}:{root}")
+
+
+def _build_graph(config: Dict, store) -> CSRGraph:
     topology = config["topology"]
     scale = config["scale"]
     seed = config["seed"]
+    if topology == "rmat_xl":
+        # The xl tier builds *through* the store: the mmap path streams
+        # edge chunks to a disk spool, the heap path materializes the
+        # full edge list -- the comparison the storage axis exists for.
+        return generators.rmat_xl(int(scale), config["edge_factor"],
+                                  seed=seed, weighted=True, store=store)
     if topology == "paper":
-        return generators.paper_graph(str(scale), weighted=True)
-    if topology == "rmat":
-        return generators.rmat(int(scale), config["edge_factor"],
-                               seed=seed, weighted=True)
-    if topology == "ws":
-        return generators.watts_strogatz(int(scale),
-                                         config["edge_factor"],
-                                         seed=seed, weighted=True)
-    if topology == "er":
+        graph = generators.paper_graph(str(scale), weighted=True)
+    elif topology == "rmat":
+        graph = generators.rmat(int(scale), config["edge_factor"],
+                                seed=seed, weighted=True)
+    elif topology == "ws":
+        graph = generators.watts_strogatz(int(scale),
+                                          config["edge_factor"],
+                                          seed=seed, weighted=True)
+    elif topology == "er":
         vertices = int(scale)
-        return generators.erdos_renyi(
+        graph = generators.erdos_renyi(
             vertices, config["edge_factor"] * vertices,
             seed=seed, weighted=True,
         )
-    raise MatrixError(f"unknown topology {topology!r}")
+    else:
+        raise MatrixError(f"unknown topology {topology!r}")
+    return store.publish(graph)
+
+
+def _values_crc32(values) -> int:
+    """CRC of the final value vector -- the bit-for-bit equality pin
+    across the storage axis (part of the canonical payload)."""
+    if values is None:
+        return 0
+    return zlib.crc32(np.ascontiguousarray(values).tobytes())
 
 
 def _build_batches(config: Dict, graph: CSRGraph) -> List[MutationBatch]:
@@ -507,6 +542,7 @@ def _execute_engine_run(config: Dict, graph: CSRGraph,
                 load_imbalance(metrics.shard_loads), 6),
             "num_shards": backend.num_shards,
             "batches_applied": len(result.batches),
+            "values_crc32": _values_crc32(result.final_values),
         }
         timing = {
             "wall_seconds": _wall_summary(
@@ -632,6 +668,8 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
             "queue_depth": health.queue_depth,
             "staleness_batches": health.staleness_batches,
             "admission_policy": health.admission_policy,
+            "values_crc32": _values_crc32(
+                resilient.server.engine.values),
         }
         if slo_sink is not None:
             fired = [alert for alert in slo_sink.alerts
@@ -661,18 +699,30 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
 
 
 def execute_run(spec: RunSpec) -> Dict:
-    """Execute one cell and return its payload entry."""
+    """Execute one cell and return its payload entry.
+
+    ``timing.peak_rss_bytes`` records the process-lifetime RSS
+    high-water mark after the cell ran.  Being a high-water mark it
+    never decreases across cells, so memory comparisons (the xl
+    matrix's storage axis) must list the low-memory configuration
+    *first* in the axis -- run order is expansion order.  Timing is
+    stripped from the canonical payload, so the environment-dependent
+    reading never perturbs the determinism pin or the gate baselines.
+    """
     config = spec.config
-    graph = _build_graph(config)
-    batches = _build_batches(config, graph)
-    serving = _is_serving(config)
-    if serving:
-        work, timing = _execute_serving_run(config, graph, batches)
-    else:
-        work, timing = _execute_engine_run(config, graph, batches)
-    work["graph_vertices"] = graph.num_vertices
-    work["graph_edges"] = graph.num_edges
-    work["mutations"] = sum(len(batch) for batch in batches)
+    with contextlib.ExitStack() as stack:
+        store = _make_store(str(config["storage"]), stack)
+        graph = _build_graph(config, store)
+        batches = _build_batches(config, graph)
+        serving = _is_serving(config)
+        if serving:
+            work, timing = _execute_serving_run(config, graph, batches)
+        else:
+            work, timing = _execute_engine_run(config, graph, batches)
+        work["graph_vertices"] = graph.num_vertices
+        work["graph_edges"] = graph.num_edges
+        work["mutations"] = sum(len(batch) for batch in batches)
+        timing["peak_rss_bytes"] = peak_rss_bytes()
     return {
         "id": spec.run_id,
         "mode": "serving" if serving else "engine",
@@ -693,7 +743,7 @@ def run_matrix(table: RunTable,
             progress(spec.run_id)
         runs.append(execute_run(spec))
     headers = ["Run", "Mode", "EdgeComp", "Alerts", "p50 s", "p99 s",
-               "Total s"]
+               "Total s", "RSS MiB"]
     rows = []
     for run in runs:
         wall = run["timing"]["wall_seconds"]
@@ -703,6 +753,7 @@ def run_matrix(table: RunTable,
                             run["work"].get("applied", 0)),
             run["work"].get("slo_alerts", "-"),
             wall["p50"], wall["p99"], wall["total"],
+            round(run["timing"]["peak_rss_bytes"] / 2 ** 20, 1),
         ])
     matrix_config = {
         "axes": table.axes,

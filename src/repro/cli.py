@@ -179,6 +179,16 @@ def _spec_of(args) -> str:
     return args.graph_spec if args.graph_spec else args.graph
 
 
+def _select_store(args, default_root=None):
+    """The snapshot store the command asked for (flag, else env)."""
+    from repro.graph import storage
+
+    spec = getattr(args, "snapshot_store", None)
+    if spec is not None:
+        return storage.store_from_spec(spec, default_root=default_root)
+    return storage.store_from_env(default_root=default_root)
+
+
 def _replay(runner, args):
     """Drive the batch schedule; yields per-batch measurements."""
     for index in range(args.batches):
@@ -194,7 +204,8 @@ def _replay(runner, args):
 
 def _cmd_run(args) -> int:
     spec = _spec_of(args)
-    graph = parse_graph(spec)
+    store = _select_store(args)
+    graph = store.publish(parse_graph(spec))
     factory = ALGORITHMS[args.algorithm]
     runner = ENGINES[args.engine](factory, args.iterations)
 
@@ -213,6 +224,7 @@ def _cmd_run(args) -> int:
             "algorithm": args.algorithm, "graph": spec,
             "vertices": graph.num_vertices, "edges": graph.num_edges,
             "iterations": args.iterations, "seed": args.seed,
+            "store": store.describe(),
             "setup_seconds": round(setup_seconds, 6),
         }
         if journal is not None:
@@ -314,7 +326,10 @@ def _cmd_experiment(args) -> int:
     from repro.bench import gate as gate_mod
     from repro.bench import matrix as matrix_mod
     from repro.bench.reporting import results_dir
+    from repro.graph.storage import ENV_SNAPSHOT_STORE
 
+    if args.snapshot_store:
+        os.environ[ENV_SNAPSHOT_STORE] = args.snapshot_store
     if args.list:
         for name in sorted(os.listdir(matrix_mod.matrices_dir())):
             if name.endswith(".yaml"):
@@ -413,7 +428,14 @@ def _cmd_serve(args) -> int:
                      int(parts[2]) if len(parts) == 3 else None)
 
     spec = _spec_of(args)
-    graph = parse_graph(spec)
+    # An mmap store without an explicit directory spools next to the
+    # WAL, so checkpoints' manifest references survive restarts.
+    store = _select_store(
+        args,
+        default_root=os.path.join(args.wal, "store") if args.wal
+        else None,
+    )
+    graph = store.publish(parse_graph(spec))
     recovery = None
     if args.wal:
         recovery = RecoveryManager(
@@ -776,15 +798,25 @@ def _cmd_fuzz(args) -> int:
     if args.replicated and not args.crash:
         print("--replicated requires --crash")
         return 2
+    if args.storage and not args.crash:
+        print("--storage requires --crash")
+        return 2
     if args.crash:
         from repro.testing.crash import (
             replicated_scenario_sweep,
             run_crash_fuzz,
             run_plant_fault,
+            storage_site_sweep,
         )
 
         if args.plant_fault:
             return 0 if run_plant_fault(seed=args.seed) else 1
+        if args.storage:
+            rounds = storage_site_sweep(
+                state_root=args.artifacts_dir, seed=args.seed,
+                emit=print,
+            )
+            return 0 if all(round_.ok for round_ in rounds) else 1
         if args.replicated:
             rounds = replicated_scenario_sweep(
                 seed=args.seed, state_root=args.artifacts_dir,
@@ -849,6 +881,14 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--batches", type=int, default=5)
         parser.add_argument("--batch-size", type=int, default=100)
         parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--snapshot-store", default=None,
+                            metavar="KIND[:DIR]",
+                            help="snapshot storage tier: 'heap' "
+                                 "(default) keeps CSR arrays in "
+                                 "memory; 'mmap[:dir]' spools them to "
+                                 "CRC-guarded segment files reopened "
+                                 "as memmaps (out-of-core).  Defaults "
+                                 "to $REPRO_SNAPSHOT_STORE")
         parser.add_argument("--trace-out", default=None,
                             help="write the span journal to this JSONL "
                                  "file")
@@ -904,6 +944,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--update-baseline", action="store_true",
                             help="write this payload as the new "
                                  "committed baseline instead of gating")
+    experiment.add_argument("--snapshot-store", default=None,
+                            metavar="KIND[:DIR]",
+                            help="default snapshot storage tier for "
+                                 "cells whose matrix omits a 'storage' "
+                                 "axis (heap | mmap[:dir]); exported "
+                                 "as REPRO_SNAPSHOT_STORE for the run")
     experiment.set_defaults(handler=_cmd_experiment)
 
     serve = sub.add_parser(
@@ -1087,6 +1133,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "segment-drop, stale-writer-fence); every "
                            "replica must converge bit-for-bit and "
                            "fenced segments must land in the ledger")
+    fuzz.add_argument("--storage", action="store_true",
+                      help="with --crash: kill the mmap snapshot store "
+                           "at every segment position of a generation "
+                           "write (storage.segment_write); the torn "
+                           "write must leave the previous manifest "
+                           "readable and a retry must converge")
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     repl_status = sub.add_parser(

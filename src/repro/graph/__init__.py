@@ -21,13 +21,28 @@ from repro.graph.mutation import MutationBatch
 from repro.graph.stream import MutationStream
 from repro.graph.window import SlidingWindowStream
 
+# Imported last: storage pulls in repro.testing (failpoints), whose
+# engine imports resolve names from this partially-initialized package.
+from repro.graph.storage import (  # noqa: E402
+    HeapStore,
+    MmapStore,
+    SnapshotStore,
+    store_from_env,
+    store_from_spec,
+)
+
 __all__ = [
     "CSRGraph",
     "DynamicGraph",
     "DynamicStreamingGraph",
+    "HeapStore",
+    "MmapStore",
     "MutationBatch",
     "MutationResult",
     "MutationStream",
     "SlidingWindowStream",
+    "SnapshotStore",
     "StreamingGraph",
+    "store_from_env",
+    "store_from_spec",
 ]

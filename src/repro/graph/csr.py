@@ -31,9 +31,16 @@ class CSRGraph:
         Integer arrays of equal length giving the edge endpoints.
     weight:
         Optional float array of edge weights; defaults to all ones.
+    presorted:
+        Input already in canonical CSR order (sorted by ``(src, dst)``).
+        Validated by a cheap monotonicity check over the scalar edge
+        keys, then the O(E log E) CSR-side lexsort is skipped and the
+        CSC side needs only a single-key stable argsort.
 
     The constructor copies and re-sorts the input, so callers may mutate
-    their arrays afterwards.
+    their arrays afterwards.  :meth:`from_canonical` skips sorting and
+    copying entirely for arrays already in canonical form (store loads,
+    checkpoint restores).
     """
 
     def __init__(
@@ -42,6 +49,7 @@ class CSRGraph:
         src: np.ndarray,
         dst: np.ndarray,
         weight: Optional[np.ndarray] = None,
+        presorted: bool = False,
     ) -> None:
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
@@ -65,15 +73,33 @@ class CSRGraph:
                 raise ValueError("edge weights must be finite")
 
         self._num_vertices = int(num_vertices)
+        #: Owning :class:`~repro.graph.storage.SnapshotStore` (None for
+        #: plain heap graphs) and the store's id for this snapshot.
+        self.store = None
+        self.snapshot_id = None
 
-        # CSR (out-edges), rows sorted by (src, dst).
-        order = np.lexsort((dst, src))
-        self._out_targets = dst[order].copy()
-        self._out_weights = weight[order].copy()
-        self._out_offsets = self._build_offsets(src[order])
+        if presorted:
+            stride = np.int64(max(self._num_vertices, 1))
+            keys = src * stride + dst
+            if keys.size > 1 and np.any(np.diff(keys) < 0):
+                raise ValueError(
+                    "presorted=True but edges are not in (src, dst) order"
+                )
+            # CSR side is the input verbatim; CSC needs only a
+            # single-key stable argsort (src order breaks dst ties).
+            self._out_targets = dst.copy()
+            self._out_weights = weight.copy()
+            self._out_offsets = self._build_offsets(src)
+            order_in = np.argsort(dst, kind="stable")
+        else:
+            # CSR (out-edges), rows sorted by (src, dst).
+            order = np.lexsort((dst, src))
+            self._out_targets = dst[order].copy()
+            self._out_weights = weight[order].copy()
+            self._out_offsets = self._build_offsets(src[order])
 
-        # CSC (in-edges), columns sorted by (dst, src).
-        order_in = np.lexsort((src, dst))
+            # CSC (in-edges), columns sorted by (dst, src).
+            order_in = np.lexsort((src, dst))
         self._in_sources = src[order_in].copy()
         self._in_weights = weight[order_in].copy()
         self._in_offsets = self._build_offsets(dst[order_in])
@@ -287,6 +313,12 @@ class CSRGraph:
             raise ValueError("cannot shrink a graph")
         if num_vertices == self._num_vertices:
             return self
+        if self.store is not None and self.store.kind == "mmap":
+            empty = np.empty(0, dtype=np.int64)
+            return self.store.adjust(
+                self, num_vertices, empty, empty,
+                np.empty(0, dtype=np.float64), empty, empty,
+            )
         src, dst, weight = self.all_edges()
         grown = CSRGraph(num_vertices, src, dst, weight)
         cache = getattr(self, "_shard_cache", None)
@@ -298,6 +330,56 @@ class CSRGraph:
                 for shards, partition in cache.items()
             }
         return grown
+
+    @classmethod
+    def from_canonical(
+        cls,
+        num_vertices: int,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        out_weights: np.ndarray,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        in_weights: np.ndarray,
+        store=None,
+        snapshot_id: Optional[str] = None,
+    ) -> "CSRGraph":
+        """Adopt already-canonical CSR+CSC arrays with zero sorts/copies.
+
+        The construct-from-store path: snapshot loads and checkpoint
+        restores hand over the six arrays exactly as a constructor run
+        would have produced them (``np.memmap`` views work unchanged),
+        so only O(V) structural checks run here -- no O(E log E)
+        re-sort, no per-array copy.
+        """
+        num_vertices = int(num_vertices)
+        num_edges = int(out_targets.size)
+        for name, offsets in (("out_offsets", out_offsets),
+                              ("in_offsets", in_offsets)):
+            if offsets.size != num_vertices + 1:
+                raise ValueError(
+                    f"{name} has {offsets.size} entries, expected "
+                    f"{num_vertices + 1}"
+                )
+            if offsets.size and (int(offsets[0]) != 0
+                                 or int(offsets[-1]) != num_edges):
+                raise ValueError(f"{name} endpoints disagree with edges")
+            if np.any(np.diff(offsets) < 0):
+                raise ValueError(f"{name} is not monotone")
+        if (out_weights.size != num_edges or in_sources.size != num_edges
+                or in_weights.size != num_edges):
+            raise ValueError("canonical edge arrays disagree in length")
+        graph = cls.__new__(cls)
+        graph._num_vertices = num_vertices
+        graph.store = store
+        graph.snapshot_id = snapshot_id
+        graph._out_offsets = out_offsets
+        graph._out_targets = out_targets
+        graph._out_weights = out_weights
+        graph._in_offsets = in_offsets
+        graph._in_sources = in_sources
+        graph._in_weights = in_weights
+        return graph
 
     @classmethod
     def from_edges(

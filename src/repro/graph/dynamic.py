@@ -6,9 +6,14 @@ STINGER can be incorporated to improve the time taken to adjust the
 graph structure".  This module provides that incorporation:
 :class:`DynamicGraph` keeps per-vertex *edge blocks with slack* -- each
 row owns capacity beyond its current degree -- so a mutation batch
-touches only the affected rows.  A global repack (with fresh slack)
-happens only when some row overflows, giving amortised O(batch) updates
-instead of O(E) rebuilds.
+touches only the affected rows.  When a row overflows it is *relocated*
+to the structure's tail with fresh slack (amortised-doubling tail
+growth), leaving its old block behind as a tombstone; once tombstoned
+slots cross a fraction of the structure, a segment-wise compaction
+rewrites dirty vertex ranges one bounded range at a time.  A mutation
+batch therefore never materializes the full ``(key, other, weight)``
+edge list in heap and never runs an O(E log E) argsort -- the two
+costs the old whole-structure repack paid on every overflow.
 
 :class:`DynamicGraph` duck-types the read interface of
 :class:`~repro.graph.csr.CSRGraph` (degrees, neighbour slices, gathers,
@@ -39,6 +44,16 @@ __all__ = ["DynamicGraph", "DynamicStreamingGraph", "FrozenGraphParams"]
 SLACK_FACTOR = 1.5
 SLACK_MINIMUM = 2
 
+#: Tombstoned-slot fraction of the structure that triggers a
+#: segment-wise compaction (checked opportunistically after batches).
+COMPACT_DEAD_FRACTION = 0.25
+#: Floor on tombstoned slots before compaction is worth running.
+COMPACT_DEAD_MINIMUM = 64
+
+#: Edge budget per compaction segment: bounds the gather working set
+#: of one dirty vertex range during a rewrite.
+SEGMENT_EDGE_BUDGET = 1 << 20
+
 
 class _Direction:
     """One adjacency direction (out or in) as slack-bearing edge blocks."""
@@ -50,11 +65,16 @@ class _Direction:
         self.lengths = np.empty(0, dtype=np.int64)
         self.others = np.empty(0, dtype=np.int64)
         self.weights = np.empty(0, dtype=np.float64)
+        #: First unallocated slot; rows relocated out of their block
+        #: land here.  ``others.size - tail`` is reserve capacity.
+        self.tail = 0
+        #: Tombstoned slots (capacity of relocated rows' old blocks).
+        self.dead = 0
         self._pack(num_vertices, keys, others, weights)
 
     # ------------------------------------------------------------------
     def _pack(self, num_vertices, keys, others, weights) -> None:
-        """Lay rows out contiguously with fresh slack."""
+        """Initial contiguous layout with fresh slack."""
         order = np.argsort(keys, kind="stable")
         keys, others, weights = keys[order], others[order], weights[order]
         degrees = np.bincount(keys, minlength=num_vertices)
@@ -76,12 +96,96 @@ class _Direction:
         self.capacities = capacities
         self.others = new_others
         self.weights = new_weights
+        self.tail = total
+        self.dead = 0
 
-    def repack(self, num_vertices: Optional[int] = None) -> None:
-        if num_vertices is None:
-            num_vertices = self.num_vertices
-        keys, others, weights = self.edge_arrays()
-        self._pack(num_vertices, keys, others, weights)
+    # ------------------------------------------------------------------
+    # Tail allocation + row relocation (the segment-wise overflow path)
+    # ------------------------------------------------------------------
+    def _ensure_tail(self, needed: int) -> None:
+        """Amortised-doubling growth of the backing arrays."""
+        size = int(self.others.size)
+        if self.tail + needed <= size:
+            return
+        new_size = max(size * 2, self.tail + needed, 16)
+        grown_others = np.full(new_size, -1, dtype=np.int64)
+        grown_others[:self.tail] = self.others[:self.tail]
+        grown_weights = np.zeros(new_size, dtype=np.float64)
+        grown_weights[:self.tail] = self.weights[:self.tail]
+        self.others = grown_others
+        self.weights = grown_weights
+
+    def relocate_row(self, key: int, min_capacity: int) -> None:
+        """Move one overflowing row to the tail with fresh slack,
+        tombstoning its old block.  O(row), not O(E)."""
+        length = int(self.lengths[key])
+        new_capacity = max(
+            int(min_capacity),
+            int(length * SLACK_FACTOR),
+            length + SLACK_MINIMUM,
+        )
+        self._ensure_tail(new_capacity)
+        start = int(self.starts[key])
+        new_start = self.tail
+        self.others[new_start:new_start + length] = \
+            self.others[start:start + length]
+        self.weights[new_start:new_start + length] = \
+            self.weights[start:start + length]
+        self.others[start:start + length] = -1
+        self.dead += int(self.capacities[key])
+        self.starts[key] = new_start
+        self.capacities[key] = new_capacity
+        self.tail += new_capacity
+
+    def maybe_compact(self) -> bool:
+        """Compact when tombstones cross the configured fraction."""
+        threshold = max(int(self.tail * COMPACT_DEAD_FRACTION),
+                        COMPACT_DEAD_MINIMUM)
+        if self.dead < threshold:
+            return False
+        self.compact()
+        return True
+
+    def compact(self) -> None:
+        """Segment-wise rewrite dropping tombstoned blocks.
+
+        Rows are copied one bounded vertex range at a time (per-range
+        gather via ``_ranges``), so the working set is the segment
+        budget -- never the full edge list, and no argsort runs.
+        """
+        degrees = self.lengths
+        capacities = np.maximum(
+            (degrees * SLACK_FACTOR).astype(np.int64),
+            degrees + SLACK_MINIMUM,
+        )
+        new_starts = np.zeros(self.num_vertices, dtype=np.int64)
+        if self.num_vertices:
+            np.cumsum(capacities[:-1], out=new_starts[1:])
+        total = int(capacities.sum())
+        new_others = np.full(total, -1, dtype=np.int64)
+        new_weights = np.zeros(total, dtype=np.float64)
+        cumulative = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(degrees, out=cumulative[1:])
+        start_v = 0
+        while start_v < self.num_vertices:
+            budget_end = int(cumulative[start_v]) + SEGMENT_EDGE_BUDGET
+            stop_v = int(np.searchsorted(cumulative, budget_end,
+                                         side="right")) - 1
+            stop_v = min(max(stop_v, start_v + 1), self.num_vertices)
+            seg_deg = degrees[start_v:stop_v]
+            old_slots = _ranges(self.starts[start_v:stop_v],
+                                self.starts[start_v:stop_v] + seg_deg)
+            slots = _ranges(new_starts[start_v:stop_v],
+                            new_starts[start_v:stop_v] + seg_deg)
+            new_others[slots] = self.others[old_slots]
+            new_weights[slots] = self.weights[old_slots]
+            start_v = stop_v
+        self.starts = new_starts
+        self.capacities = capacities
+        self.others = new_others
+        self.weights = new_weights
+        self.tail = total
+        self.dead = 0
 
     # ------------------------------------------------------------------
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -131,7 +235,9 @@ class _Direction:
         if num_vertices <= self.num_vertices:
             return
         fresh = num_vertices - self.num_vertices
-        base = self.others.size
+        needed = fresh * SLACK_MINIMUM
+        self._ensure_tail(needed)
+        base = self.tail
         self.starts = np.concatenate([
             self.starts,
             base + SLACK_MINIMUM * np.arange(fresh, dtype=np.int64),
@@ -143,12 +249,7 @@ class _Direction:
             self.capacities,
             np.full(fresh, SLACK_MINIMUM, dtype=np.int64),
         ])
-        self.others = np.concatenate([
-            self.others, np.full(fresh * SLACK_MINIMUM, -1, dtype=np.int64),
-        ])
-        self.weights = np.concatenate([
-            self.weights, np.zeros(fresh * SLACK_MINIMUM),
-        ])
+        self.tail += needed
         self.num_vertices = num_vertices
 
     @property
@@ -174,7 +275,11 @@ class DynamicGraph:
         self._out = _Direction(num_vertices, src, dst, weight)
         self._in = _Direction(num_vertices, dst, src, weight)
         self._num_edges = int(src.size)
+        #: Row relocations (old whole-structure repacks are gone; an
+        #: overflowing row moves to the tail with fresh slack).
         self.repacks = 0
+        #: Segment-wise compactions of tombstoned blocks.
+        self.compactions = 0
         #: Bumped on every mutation; invalidates derived-array caches.
         self.version = 0
         self._cache = {}
@@ -331,16 +436,25 @@ class DynamicGraph:
         if self._out.find(u, v) >= 0:
             return False
         if not self._out.insert(u, v, weight):
-            self._out.repack()
+            self._out.relocate_row(u, int(self._out.lengths[u]) + 1)
             self.repacks += 1
             self._out.insert(u, v, weight)
         if not self._in.insert(v, u, weight):
-            self._in.repack()
+            self._in.relocate_row(v, int(self._in.lengths[v]) + 1)
             self.repacks += 1
             self._in.insert(v, u, weight)
         self._num_edges += 1
         self.version += 1
         return True
+
+    def maybe_compact(self) -> bool:
+        """Opportunistic (post-batch) segment-wise compaction of
+        tombstoned blocks; returns True when either direction ran."""
+        ran = self._out.maybe_compact()
+        ran = self._in.maybe_compact() or ran
+        if ran:
+            self.compactions += 1
+        return ran
 
     def __repr__(self) -> str:
         return (
@@ -438,6 +552,9 @@ class DynamicStreamingGraph:
                 skipped_additions += 1
 
         self.batches_applied += 1
+        # Background-style compaction: deferred off the mutation path,
+        # run between batches once tombstones cross the threshold.
+        graph.maybe_compact()
         return DynamicMutationResult(
             old_graph=old_params,
             new_graph=graph,

@@ -13,6 +13,9 @@ All generators are deterministic given a seed.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -21,6 +24,8 @@ from repro.graph.csr import CSRGraph
 
 __all__ = [
     "rmat",
+    "rmat_streamed",
+    "rmat_xl",
     "erdos_renyi",
     "preferential_attachment",
     "grid_graph",
@@ -72,6 +77,246 @@ def rmat(
     src, dst = pairs[:, 0], pairs[:, 1]
     weight = rng.random(src.size) + 0.5 if weighted else None
     return CSRGraph(num_vertices, src, dst, weight)
+
+
+def _hash_weights(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Deterministic per-edge weights in [0.5, 1.5), derived from the
+    endpoints alone.
+
+    The streamed generator builds the CSR and CSC sides in two
+    independent disk passes, so a weight must be recomputable from
+    ``(src, dst)`` wherever the pair surfaces -- an rng stream would
+    tie weights to visit order and break CSR/CSC agreement (and with
+    it bit-for-bit equality across storage tiers)."""
+    mixed = (src.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+             + dst.astype(np.uint64) * np.uint64(0xBF58476D1CE4E5B9))
+    mixed ^= mixed >> np.uint64(29)
+    mixed *= np.uint64(0x94D049BB133111EB)
+    mixed ^= mixed >> np.uint64(32)
+    fraction = (mixed >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+    return fraction + 0.5
+
+
+def _rmat_chunk(rng, count: int, scale: int,
+                a: float, ab: float, abc: float):
+    """One chunk of the RMAT rng stream: ``count`` quadrant draws with
+    self-loops dropped.  Both xl build paths (streamed and
+    materialized) consume chunks through here, so they see the same
+    edges for the same ``(seed, chunk_edges)``."""
+    src = np.zeros(count, dtype=np.int64)
+    dst = np.zeros(count, dtype=np.int64)
+    for _ in range(scale):
+        rand = rng.random(count)
+        src = (src << 1) | (rand >= ab)
+        dst = (dst << 1) | (((rand >= a) & (rand < ab))
+                            | (rand >= abc))
+    keep = src != dst
+    return src[keep], dst[keep]
+
+
+def _dedup_sorted(key: np.ndarray, other: np.ndarray):
+    """Sort ``(key, other)`` pairs lexicographically and drop duplicate
+    pairs -- the same result as ``np.unique(pairs, axis=0)`` without
+    its void-row copies, which keeps the per-bucket heap transient of
+    the streamed build near the bucket size."""
+    order = np.lexsort((other, key))
+    key, other = key[order], other[order]
+    if key.size:
+        keep = np.empty(key.size, dtype=bool)
+        keep[0] = True
+        np.logical_or(key[1:] != key[:-1], other[1:] != other[:-1],
+                      out=keep[1:])
+        key, other = key[keep], other[keep]
+    return key, other
+
+
+def rmat_streamed(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    weighted: bool = True,
+    store=None,
+    chunk_edges: int = 1 << 20,
+    spool_dir: Optional[str] = None,
+) -> CSRGraph:
+    """RMAT at out-of-core scale: edges stream to a disk spool in
+    chunks, and the snapshot is assembled through a
+    :class:`~repro.graph.storage.SnapshotStore` writer -- the full
+    edge list never exists in heap at once.
+
+    Three bounded passes:
+
+    1. **Generate** -- RMAT chunks of ``chunk_edges`` edges (self-loops
+       dropped) are partitioned into spool buckets twice, by source
+       range (the CSR pass's input) and by destination range (the CSC
+       pass's).  Peak heap: one chunk.
+    2. **CSR** -- each source bucket is loaded, deduplicated and
+       sorted by ``(src, dst)`` (a bucket holds every copy of its
+       pairs, so per-bucket dedup is global dedup), its degree counts
+       folded into the offsets, and its targets/weights appended to
+       the store writer.  Peak heap: one bucket plus the O(V) offsets.
+    3. **CSC** -- the same over destination buckets, sorted by
+       ``(dst, src)``.
+
+    Weights are hash-derived from the endpoints (:func:`_hash_weights`)
+    so both passes agree bit-for-bit; the result is identical whichever
+    store builds it.  ``store=None`` builds in heap.  The rng stream is
+    consumed chunk-by-chunk, so ``chunk_edges`` is part of the
+    determinism contract alongside ``seed`` -- equality across storage
+    tiers holds because both build with the same chunk size, not in
+    spite of it.
+    """
+    from repro.graph.storage import HeapStore
+
+    if not 0 < a + b + c < 1:
+        raise ValueError("a + b + c must be in (0, 1)")
+    if store is None:
+        store = HeapStore()
+    num_vertices = 1 << scale
+    num_edges = edge_factor * num_vertices
+    # ~2 chunks of edges per bucket keeps pass-2/3 peak heap near the
+    # chunk size while bounding the bucket file count.
+    buckets = max(1, min(num_vertices,
+                         num_edges // max(chunk_edges * 2, 1) or 1))
+    shift = max(0, scale - (buckets - 1).bit_length())
+    buckets = (num_vertices + (1 << shift) - 1) >> shift
+
+    spool = spool_dir or tempfile.mkdtemp(prefix="repro-rmat-xl-")
+    own_spool = spool_dir is None
+    os.makedirs(spool, exist_ok=True)
+    rng = np.random.default_rng(seed)
+    ab, abc = a + b, a + b + c
+    try:
+        out_files = [open(os.path.join(spool, f"src-{i:04d}.bin"), "wb")
+                     for i in range(buckets)]
+        in_files = [open(os.path.join(spool, f"dst-{i:04d}.bin"), "wb")
+                    for i in range(buckets)]
+        try:
+            remaining = num_edges
+            while remaining > 0:
+                count = min(chunk_edges, remaining)
+                remaining -= count
+                src, dst = _rmat_chunk(rng, count, scale, a, ab, abc)
+                pair = np.empty((src.size, 2), dtype=np.int64)
+                pair[:, 0], pair[:, 1] = src, dst
+                for index in np.unique(src >> shift):
+                    rows = pair[(src >> shift) == index]
+                    out_files[index].write(rows.tobytes())
+                for index in np.unique(dst >> shift):
+                    rows = pair[(dst >> shift) == index]
+                    in_files[index].write(rows.tobytes())
+        finally:
+            for handle in out_files + in_files:
+                handle.close()
+
+        writer = store.writer()
+        try:
+            out_degrees = np.zeros(num_vertices, dtype=np.int64)
+            for index in range(buckets):
+                path = os.path.join(spool, f"src-{index:04d}.bin")
+                pair = np.fromfile(path, dtype=np.int64).reshape(-1, 2)
+                os.remove(path)
+                if pair.size == 0:
+                    continue
+                src, dst = _dedup_sorted(pair[:, 0].copy(),
+                                         pair[:, 1].copy())
+                del pair
+                out_degrees += np.bincount(src, minlength=num_vertices)
+                writer.append("out_targets", dst)
+                writer.append("out_weights",
+                              _hash_weights(src, dst) if weighted
+                              else np.ones(src.size))
+            offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+            np.cumsum(out_degrees, out=offsets[1:])
+            writer.append("out_offsets", offsets)
+
+            in_degrees = np.zeros(num_vertices, dtype=np.int64)
+            for index in range(buckets):
+                path = os.path.join(spool, f"dst-{index:04d}.bin")
+                pair = np.fromfile(path, dtype=np.int64).reshape(-1, 2)
+                os.remove(path)
+                if pair.size == 0:
+                    continue
+                dst, src = _dedup_sorted(pair[:, 1].copy(),
+                                         pair[:, 0].copy())
+                del pair
+                in_degrees += np.bincount(dst, minlength=num_vertices)
+                writer.append("in_sources", src)
+                writer.append("in_weights",
+                              _hash_weights(src, dst) if weighted
+                              else np.ones(src.size))
+            offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+            np.cumsum(in_degrees, out=offsets[1:])
+            writer.append("in_offsets", offsets)
+            return writer.commit(num_vertices)
+        except BaseException:
+            writer.abort()
+            raise
+    finally:
+        if own_spool:
+            shutil.rmtree(spool, ignore_errors=True)
+
+
+def rmat_xl(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    weighted: bool = True,
+    store=None,
+    chunk_edges: int = 1 << 20,
+) -> CSRGraph:
+    """Build an xl-tier RMAT snapshot through a
+    :class:`~repro.graph.storage.SnapshotStore`, by the path each
+    storage tier actually uses:
+
+    - **mmap** stores take the out-of-core spool build
+      (:func:`rmat_streamed`): edge chunks are never all in heap and
+      the snapshot lands as memmapped segment files;
+    - **heap** stores take the conventional in-core pipeline -- the
+      full edge list is materialized, globally deduplicated and pushed
+      through the sorting :class:`~repro.graph.csr.CSRGraph`
+      constructor -- exactly the path the spool build exists to
+      replace, which is what makes the xl matrix's peak-RSS
+      comparison between the two tiers meaningful.
+
+    Both paths consume the identical chunked rng stream and derive
+    weights from :func:`_hash_weights`, so the resulting snapshots are
+    bit-for-bit equal across tiers.
+    """
+    from repro.graph.storage import HeapStore
+
+    if store is None:
+        store = HeapStore()
+    if getattr(store, "kind", "heap") == "mmap":
+        return rmat_streamed(scale, edge_factor, a, b, c, seed=seed,
+                             weighted=weighted, store=store,
+                             chunk_edges=chunk_edges)
+    if not 0 < a + b + c < 1:
+        raise ValueError("a + b + c must be in (0, 1)")
+    num_vertices = 1 << scale
+    num_edges = edge_factor * num_vertices
+    rng = np.random.default_rng(seed)
+    ab, abc = a + b, a + b + c
+    chunks = []
+    remaining = num_edges
+    while remaining > 0:
+        count = min(chunk_edges, remaining)
+        remaining -= count
+        chunks.append(_rmat_chunk(rng, count, scale, a, ab, abc))
+    src = np.concatenate([chunk[0] for chunk in chunks])
+    dst = np.concatenate([chunk[1] for chunk in chunks])
+    del chunks
+    pairs = np.unique(np.stack([src, dst], axis=1), axis=0)
+    src, dst = pairs[:, 0].copy(), pairs[:, 1].copy()
+    del pairs
+    weight = _hash_weights(src, dst) if weighted else None
+    return store.publish(CSRGraph(num_vertices, src, dst, weight))
 
 
 def erdos_renyi(

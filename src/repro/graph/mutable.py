@@ -150,9 +150,15 @@ class StreamingGraph:
             old, num_vertices, add_src, add_dst, add_weight, del_src, del_dst
         )
 
+        retired = self._previous
         self._previous = old
         self._graph = new_graph
         self.batches_applied += 1
+        if retired is not None and getattr(retired, "store", None) is not None:
+            # The snapshot two batches back has no consumer left;
+            # dropping its live reference lets the store tombstone and
+            # compact its generation (open memmap views stay valid).
+            retired.store.release(retired)
         return MutationResult(
             old_graph=old,
             new_graph=new_graph,
@@ -190,6 +196,21 @@ class StreamingGraph:
             & (dst >= 0) & (dst < num_vertices)
         )
         if not valid.any():
+            return positions
+        store = getattr(graph, "store", None)
+        if store is not None and store.kind == "mmap":
+            # Out-of-core snapshot: ``edge_keys`` would materialize
+            # two O(E) heap arrays; per-row binary search over the
+            # memmapped CSR rows touches only the queried rows.
+            offsets = graph.out_offsets
+            targets = graph.out_targets
+            for index in np.flatnonzero(valid):
+                lo = int(offsets[src[index]])
+                hi = int(offsets[src[index] + 1])
+                row = targets[lo:hi]
+                slot = int(np.searchsorted(row, dst[index]))
+                if slot < row.size and row[slot] == dst[index]:
+                    positions[index] = lo + slot
             return positions
         keys = graph.edge_keys()
         stride = np.int64(max(num_vertices, 1))
@@ -231,6 +252,15 @@ class StreamingGraph:
     @staticmethod
     def _rebuild(old, num_vertices, add_src, add_dst, add_weight,
                  del_src, del_dst):
+        store = getattr(old, "store", None)
+        if store is not None and store.kind == "mmap":
+            # Segment-wise out-of-core adjustment: only dirty vertex
+            # ranges are rebuilt in heap, clean ranges are block
+            # copied file-to-file (see MmapStore.adjust).
+            return store.adjust(
+                old, num_vertices, add_src, add_dst, add_weight,
+                del_src, del_dst,
+            )
         src, dst, weight = old.all_edges()
         if del_src.size:
             positions = StreamingGraph._edge_positions(old, del_src, del_dst)

@@ -264,6 +264,31 @@ def _latency_panel(streams: Dict[str, List[Dict]], width: int,
         )
 
 
+def _memory_panel(batches: Sequence[Dict], width: int,
+                  lines: List[str]) -> None:
+    """Peak-RSS trend from batch wide events (``peak_rss_bytes``).
+
+    The series is a process-lifetime high-water mark, so it only ever
+    rises; what the panel surfaces is *where* it rose -- a jump at
+    batch N points at the allocation that paid for it (heap rebuilds
+    of large snapshots above all; mmap-store runs stay flat).
+    """
+    series = [float(event["peak_rss_bytes"]) for event in batches
+              if event.get("peak_rss_bytes")]
+    if not series:
+        return  # pre-RSS journal, or a platform without getrusage
+    lines.append("Memory")
+    spark_width = max(8, width - 40)
+    mib = 1024.0 * 1024.0
+    growth = series[-1] - series[0]
+    lines.append(
+        f"  peak rss {sparkline(series, spark_width)}  "
+        f"now={series[-1] / mib:.1f}MiB  "
+        f"grew={growth / mib:.1f}MiB over {len(series)} batch(es)"
+    )
+    lines.append(_rule(width))
+
+
 def render_dashboard(streams: Dict[str, List[Dict]],
                      slos: Optional[Sequence[SLO]] = None,
                      width: int = 72,
@@ -287,6 +312,7 @@ def render_dashboard(streams: Dict[str, List[Dict]],
     if streams["replicas"]:
         _replication_panel(streams["replicas"], width, lines)
         lines.append(_rule(width))
+    _memory_panel(streams["batches"], width, lines)
     _latency_panel(streams, width, lines)
     warnings = seq_warnings(streams)
     lines.append(_rule(width))

@@ -36,6 +36,8 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "ingest_engine_metrics",
+    "peak_rss_bytes",
+    "sample_peak_rss",
     "scoped_registry",
     "set_registry",
 ]
@@ -232,6 +234,41 @@ def scoped_registry(registry: Optional[MetricsRegistry] = None):
         yield registry
     finally:
         set_registry(previous)
+
+
+def peak_rss_bytes() -> int:
+    """The process-lifetime resident-set high-water mark, in bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux and in
+    bytes on macOS; normalised to bytes here.  Returns 0 where the
+    ``resource`` module is unavailable (non-POSIX platforms) so
+    callers can gate on a zero reading instead of catching imports.
+
+    Being a high-water mark, the value never decreases -- memory
+    comparisons between configurations (the xl matrix's ``storage``
+    axis above all) must run the low-memory configuration *first* in
+    any shared process.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover -- non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover -- macOS
+        return int(peak)
+    return int(peak) * 1024
+
+
+def sample_peak_rss(
+    registry: Optional[MetricsRegistry] = None,
+) -> int:
+    """Record :func:`peak_rss_bytes` into the ``proc.peak_rss_bytes``
+    gauge; returns the sampled value."""
+    registry = registry if registry is not None else get_registry()
+    peak = peak_rss_bytes()
+    registry.gauge("proc.peak_rss_bytes").set(peak)
+    return peak
 
 
 def ingest_engine_metrics(metrics, engine: str,

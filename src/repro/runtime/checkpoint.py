@@ -25,6 +25,21 @@ Durability discipline (see ``docs/operations.md``):
   wrong-file) checkpoint raises a clear ``ValueError`` instead of
   propagating garbage into the engine.
 
+Graph payload modes (format version 3):
+
+- ``inline`` (heap graphs) -- the six canonical CSR+CSC arrays are
+  stored verbatim, so :func:`load_engine` reconstructs the snapshot
+  through :meth:`CSRGraph.from_canonical` with **zero** re-sorts; the
+  pre-v3 format stored raw ``(src, dst, weight)`` triples and paid two
+  O(E log E) lexsorts on every restore.
+- ``manifest`` (mmap-store graphs) -- the payload records a JSON
+  *store manifest reference* (root, snapshot id, per-array segment
+  file + dtype + count + CRC32) instead of inlining gigabytes of edge
+  arrays.  The referenced snapshot is pinned in the store for as long
+  as the checkpoint file exists, and restore reopens the segment
+  files as ``np.memmap`` views (``store_root`` overrides the recorded
+  root -- replicas pass their own spool).
+
 The algorithm itself is *not* serialised (closures and potentials do
 not round-trip safely through arrays); the caller supplies an equally
 configured algorithm instance at load time, and a fingerprint check
@@ -33,6 +48,7 @@ rejects obvious mismatches.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 import zipfile
@@ -47,18 +63,24 @@ from repro.core.history import DependencyHistory
 from repro.core.model import IncrementalAlgorithm
 from repro.core.pruning import PruningPolicy
 from repro.graph.csr import CSRGraph
+from repro.graph.storage import open_snapshot_reference
 from repro.ligra.delta import DeltaState
 from repro.testing import faults
 
 __all__ = [
     "load_engine",
     "read_checkpoint_extra",
+    "read_store_manifest",
     "save_engine",
 ]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 _CRC_KEY = "payload_crc32"
 _EXTRA_PREFIX = "extra_"
+_GRAPH_ARRAYS = (
+    "out_offsets", "out_targets", "out_weights",
+    "in_offsets", "in_sources", "in_weights",
+)
 
 
 def _fingerprint(algorithm: IncrementalAlgorithm) -> str:
@@ -100,17 +122,19 @@ def save_engine(engine: GraphBoltEngine, path: str,
     graph = engine.graph
     if not isinstance(graph, CSRGraph):
         graph = graph.to_csr()
-    src, dst, weight = graph.all_edges()
     state = engine._state
     history = engine._history
 
+    store = getattr(graph, "store", None)
+    store_backed = (
+        store is not None
+        and store.kind == "mmap"
+        and graph.snapshot_id is not None
+    )
     payload = {
         "format_version": np.int64(_FORMAT_VERSION),
         "fingerprint": np.array(_fingerprint(engine.algorithm)),
         "num_vertices": np.int64(graph.num_vertices),
-        "src": src,
-        "dst": dst,
-        "weight": weight,
         "values": state.values,
         "prev_values": state.prev_values,
         "aggregate": state.aggregate,
@@ -122,6 +146,20 @@ def save_engine(engine: GraphBoltEngine, path: str,
         "hist_identity": history.identity_aggregate,
         "hist_len": np.int64(history.horizon),
     }
+    if store_backed:
+        # Out-of-core snapshot: record a reference to the store's
+        # published segment files instead of inlining the edge arrays.
+        payload["graph_mode"] = np.array("manifest")
+        payload["store_manifest"] = np.array(
+            json.dumps(store.manifest_entry(graph.snapshot_id),
+                       sort_keys=True)
+        )
+    else:
+        # Heap snapshot: the six canonical arrays round-trip through
+        # CSRGraph.from_canonical without re-sorting on restore.
+        payload["graph_mode"] = np.array("inline")
+        for name in _GRAPH_ARRAYS:
+            payload[name] = getattr(graph, name)
     for index, record in enumerate(history.records):
         payload[f"rec_{index}_g_idx"] = record.g_idx
         payload[f"rec_{index}_g_values"] = record.g_values
@@ -147,6 +185,11 @@ def save_engine(engine: GraphBoltEngine, path: str,
         if os.path.exists(tmp_path):
             os.remove(tmp_path)
         raise
+    if store_backed:
+        # Pin the referenced snapshot so store compaction keeps its
+        # segment files alive for as long as this checkpoint exists;
+        # the pin self-expires once the owner file is rotated away.
+        store.pin(graph.snapshot_id, owner=path)
     return path
 
 
@@ -188,6 +231,48 @@ def _check_index_array(name: str, arr: np.ndarray,
                  f"{name} indexes outside [0, {num_vertices})")
 
 
+def _verify_canonical_arrays(data, num_vertices: int) -> None:
+    """Structural checks on the six inline CSR+CSC arrays.
+
+    ``from_canonical`` trusts its inputs (that is the point -- zero
+    copies, zero sorts), so everything it would otherwise silently
+    mis-index on is rejected here."""
+    num_edges = int(data["out_targets"].size)
+    for name in ("out_offsets", "in_offsets"):
+        arr = data[name]
+        _require(arr.ndim == 1 and np.issubdtype(arr.dtype, np.integer),
+                 f"{name} must be a 1-D integer array")
+        _require(arr.size == num_vertices + 1,
+                 f"{name} length {arr.size} != num_vertices + 1")
+        _require(int(arr[0]) == 0 and int(arr[-1]) == num_edges,
+                 f"{name} endpoints do not span the edge arrays")
+        if arr.size > 1:
+            _require(int(np.diff(arr).min()) >= 0,
+                     f"{name} is not monotone")
+    _check_index_array("out_targets", data["out_targets"], num_vertices)
+    _check_index_array("in_sources", data["in_sources"], num_vertices)
+    _require(int(data["in_sources"].size) == num_edges,
+             "CSC edge count does not match CSR edge count")
+    _require(data["out_weights"].shape == data["out_targets"].shape,
+             "out_weights does not match out_targets")
+    _require(data["in_weights"].shape == data["in_sources"].shape,
+             "in_weights does not match in_sources")
+
+
+def _parse_store_manifest(text: str) -> dict:
+    try:
+        reference = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"corrupt checkpoint: unreadable store manifest ({exc})"
+        ) from exc
+    _require(isinstance(reference, dict),
+             "store manifest is not a JSON object")
+    for key in ("kind", "root", "snapshot", "num_vertices", "arrays"):
+        _require(key in reference, f"store manifest is missing {key!r}")
+    return reference
+
+
 def _verify_payload(data, path: str) -> None:
     """Checksum plus structural validation, before interpretation."""
     version = int(data["format_version"])
@@ -204,10 +289,22 @@ def _verify_payload(data, path: str) -> None:
 
     num_vertices = int(data["num_vertices"])
     _require(num_vertices >= 0, "negative vertex count")
-    for name in ("src", "dst"):
-        _check_index_array(name, data[name], num_vertices)
-    _require(data["weight"].shape == data["src"].shape,
-             "edge weight array does not match endpoints")
+    _require("graph_mode" in data, "missing graph payload mode")
+    mode = str(data["graph_mode"])
+    if mode == "inline":
+        for name in _GRAPH_ARRAYS:
+            _require(name in data, f"inline payload is missing {name}")
+        _verify_canonical_arrays(data, num_vertices)
+    elif mode == "manifest":
+        _require("store_manifest" in data,
+                 "manifest payload has no store reference")
+        reference = _parse_store_manifest(str(data["store_manifest"]))
+        _require(int(reference.get("num_vertices", -1)) == num_vertices,
+                 "store manifest vertex count does not match payload")
+    else:
+        raise ValueError(
+            f"corrupt checkpoint: unknown graph payload mode {mode!r}"
+        )
     values = data["values"]
     _require(values.shape[0] == num_vertices if values.ndim else False,
              f"values length {values.shape} != num_vertices "
@@ -239,10 +336,23 @@ def _verify_payload(data, path: str) -> None:
                  f"match indices")
 
 
+def _restore_graph(data, store_root: Optional[str]) -> CSRGraph:
+    """Rebuild the snapshot from either payload mode, with zero sorts."""
+    num_vertices = int(data["num_vertices"])
+    if str(data["graph_mode"]) == "manifest":
+        reference = _parse_store_manifest(str(data["store_manifest"]))
+        return open_snapshot_reference(reference, store_root=store_root)
+    return CSRGraph.from_canonical(
+        num_vertices,
+        *(np.ascontiguousarray(data[name]) for name in _GRAPH_ARRAYS),
+    )
+
+
 def load_engine(
     path: str,
     algorithm: IncrementalAlgorithm,
     pruning: Optional[PruningPolicy] = None,
+    store_root: Optional[str] = None,
     **engine_kwargs,
 ) -> GraphBoltEngine:
     """Reconstruct an engine from a checkpoint.
@@ -252,6 +362,10 @@ def load_engine(
     mismatch raises ``ValueError`` rather than corrupting results.  The
     payload checksum and array shapes/ranges are verified first, so a
     corrupted file fails loudly.
+
+    ``store_root`` only matters for manifest-mode checkpoints: it
+    overrides the snapshot-store root recorded at save time (replicas
+    restore from their own spool directory, not the writer's).
     """
     with _checkpoint_data(path) as data:
         _verify_payload(data, path)
@@ -262,10 +376,7 @@ def load_engine(
                 f"algorithm mismatch: checkpoint was {stored!r}, "
                 f"got {actual!r}"
             )
-        graph = CSRGraph(
-            int(data["num_vertices"]), data["src"], data["dst"],
-            data["weight"],
-        )
+        graph = _restore_graph(data, store_root)
         engine = GraphBoltEngine(
             algorithm,
             num_iterations=int(data["num_iterations"]),
@@ -292,6 +403,19 @@ def load_engine(
             )
         engine._history = history
         return engine
+
+
+def read_store_manifest(path: str) -> Optional[dict]:
+    """The store manifest reference a checkpoint records, or ``None``.
+
+    Replication uses this to discover which snapshot-store segment
+    files a manifest-mode checkpoint depends on, so they can be
+    shipped to replicas ahead of the checkpoint itself."""
+    with _checkpoint_data(path) as data:
+        _verify_payload(data, path)
+        if str(data["graph_mode"]) != "manifest":
+            return None
+        return _parse_store_manifest(str(data["store_manifest"]))
 
 
 def read_checkpoint_extra(path: str) -> Dict[str, np.ndarray]:

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.obs import trace
 from repro.obs.events import WideEventEmitter
+from repro.obs.registry import sample_peak_rss
 from repro.obs.slo import Alert, SLOEvaluator
 
 __all__ = ["PlantedLatency", "ServingObserver"]
@@ -145,6 +146,10 @@ class ServingObserver:
         if planted is not None and index >= planted.from_index:
             ingest_seconds = planted.seconds
         samples = self._samples(resilient, ingest_seconds)
+        # Memory is a wide-event dimension, not an SLO sample: the RSS
+        # high-water mark is environment-dependent, and deterministic
+        # mode promises samples that are a pure function of the config.
+        peak_rss = sample_peak_rss()
         alerts: List[Alert] = []
         if self.evaluator is not None:
             alerts = self.evaluator.tick(samples, index=index)
@@ -153,6 +158,7 @@ class ServingObserver:
             self.emitter.emit(
                 "batch",
                 index=index,
+                peak_rss_bytes=peak_rss,
                 engine="graphbolt",
                 backend=server.engine.backend.name,
                 mutations=len(batch),

@@ -11,7 +11,14 @@ abstraction:
   end-to-end with the WAL's own decoder;
 - **checkpoints** -- the writer's atomic ``ckpt-<seq>.npz`` archives,
   adopted byte-for-byte, which is both how a fresh replica bootstraps
-  and how a lagging replica heals past garbage-collected history.
+  and how a lagging replica heals past garbage-collected history;
+- **store segments** -- when the writer's graph lives in an mmap
+  :class:`~repro.graph.storage.MmapStore`, its checkpoints record a
+  *manifest reference* instead of inlining the edge arrays, so before
+  such a checkpoint ships, the CRC-guarded segment files it references
+  are shipped through the same transport and copied into the replica's
+  own store spool.  Replica bootstrap is then a file copy plus a WAL
+  *tail* replay -- never a replay of the full history.
 
 Each replica replays into its own state directory (a WAL *mirror* plus
 adopted checkpoints) that is structurally identical to a writer's --
@@ -63,9 +70,14 @@ import numpy as np
 from repro.graph.mutation import MutationBatch
 from repro.obs import trace
 from repro.obs.registry import get_registry
-from repro.recovery.manager import RecoveryManager, SegmentGapError
+from repro.recovery.manager import (
+    RecoveryError,
+    RecoveryManager,
+    SegmentGapError,
+)
 from repro.recovery.wal import SealedSegment, payload_to_batch
 from repro.recovery.wal import _decode_record  # CRC-checked end-to-end
+from repro.runtime.checkpoint import read_store_manifest
 from repro.runtime.deadline import Deadline
 from repro.serving.resilience import ResilientAnalyticsServer
 from repro.serving.server import QueryResult, StreamingAnalyticsServer
@@ -116,12 +128,14 @@ class Shipment:
     """One immutable unit shipped writer -> replica.
 
     ``kind`` is ``"segment"`` (raw encoded WAL lines for records
-    ``[first_seq, end_seq)`` plus the writer's skip-mark ledger) or
+    ``[first_seq, end_seq)`` plus the writer's skip-mark ledger),
     ``"checkpoint"`` (the atomic archive covering ``[0, first_seq)``,
-    byte-for-byte in ``blob``).  ``epoch`` fences deposed writers;
-    ``index`` is the per-link send counter, which makes ``(epoch,
-    index)`` a unique delivery id replicas use to deduplicate ledger
-    entries on redelivery.
+    byte-for-byte in ``blob``), or ``"store"`` (one snapshot-store
+    segment file a manifest-mode checkpoint references, byte-for-byte
+    in ``blob``, with its snapshot id and file name in ``meta``).
+    ``epoch`` fences deposed writers; ``index`` is the per-link send
+    counter, which makes ``(epoch, index)`` a unique delivery id
+    replicas use to deduplicate ledger entries on redelivery.
     """
 
     kind: str
@@ -132,6 +146,7 @@ class Shipment:
     lines: Tuple[str, ...] = ()
     blob: bytes = b""
     skip: Mapping[int, str] = field(default_factory=dict)
+    meta: Mapping[str, str] = field(default_factory=dict)
 
     def to_json(self) -> str:
         return json.dumps({
@@ -144,6 +159,7 @@ class Shipment:
             "blob_b64": base64.b64encode(self.blob).decode("ascii"),
             "skip": {str(seq): reason
                      for seq, reason in self.skip.items()},
+            "meta": dict(self.meta),
         }, sort_keys=True)
 
     @classmethod
@@ -159,6 +175,7 @@ class Shipment:
             blob=base64.b64decode(payload["blob_b64"]),
             skip={int(seq): reason
                   for seq, reason in payload["skip"].items()},
+            meta=dict(payload.get("meta", {})),
         )
 
 
@@ -361,6 +378,9 @@ class _Link:
     checkpoint_shipped: int = -1
     sent: int = 0
     lost: int = 0
+    #: Snapshot ids whose store segment files were already shipped on
+    #: this link (manifest-mode checkpoints only).
+    store_shipped: set = field(default_factory=set)
 
 
 class ReplicationWriter:
@@ -429,6 +449,10 @@ class ReplicationWriter:
         link = self._links[name]
         link.next_to_ship = min(link.next_to_ship, from_seq)
         link.checkpoint_shipped = -1
+        # A gap may mean store segments were lost in transit too;
+        # re-offer them with the checkpoint (the replica's file writes
+        # are idempotent, so redelivered segments are harmless).
+        link.store_shipped.clear()
         self.resyncs += 1
         get_registry().counter("replication.resyncs").inc()
         return self._ship_link(link)
@@ -493,6 +517,7 @@ class ReplicationWriter:
         return self._send(link, shipment, "replication.segments_shipped")
 
     def _ship_checkpoint(self, link: _Link, seq: int, path: str) -> int:
+        sent = self._ship_store_segments(link, seq, path)
         with open(path, "rb") as stream:
             blob = stream.read()
         shipment = Shipment(
@@ -501,8 +526,44 @@ class ReplicationWriter:
             skip=self.manager.quarantine_reasons(),
         )
         link.checkpoint_shipped = seq
-        return self._send(link, shipment,
-                          "replication.checkpoints_shipped")
+        return sent + self._send(link, shipment,
+                                 "replication.checkpoints_shipped")
+
+    def _ship_store_segments(self, link: _Link, seq: int,
+                             path: str) -> int:
+        """Ship the snapshot-store files a manifest-mode checkpoint
+        references, ahead of the checkpoint itself.
+
+        The replica copies each file into its own store spool, so its
+        bootstrap opens them as local memmaps instead of replaying the
+        writer's whole WAL.  Files for an already-shipped snapshot id
+        are not re-sent (structure adjustment mints a fresh id per
+        batch, so ids never mutate in place).
+        """
+        try:
+            reference = read_store_manifest(path)
+        except ValueError:
+            return 0  # a corrupt checkpoint is rejected on the replica
+        if reference is None:  # inline payload: arrays travel inside
+            return 0
+        snapshot = reference["snapshot"]
+        if snapshot in link.store_shipped:
+            return 0
+        sent = 0
+        root = reference["root"]
+        for name in sorted(reference["arrays"]):
+            file_name = reference["arrays"][name]["file"]
+            with open(os.path.join(root, file_name), "rb") as stream:
+                blob = stream.read()
+            shipment = Shipment(
+                kind="store", epoch=self.epoch, index=link.sent,
+                first_seq=seq, end_seq=seq, blob=blob,
+                meta={"snapshot": snapshot, "file": file_name},
+            )
+            sent += self._send(link, shipment,
+                               "replication.store_segments_shipped")
+        link.store_shipped.add(snapshot)
+        return sent
 
     def _send(self, link: _Link, shipment: Shipment,
               counter: str) -> int:
@@ -569,6 +630,10 @@ class ReadReplica:
             directory, checkpoint_every=_REPLICA_CHECKPOINT_EVERY,
             retain=2, segment_records=segment_records,
         )
+        #: Where shipped snapshot-store segment files land; manifest-
+        #: mode checkpoints are restored against this root, so the
+        #: replica never touches the writer's store directory.
+        self.store_root = os.path.join(directory, "store")
         self._fence_path = os.path.join(directory, "fence.json")
         self._ledger_path = os.path.join(directory, "fence_ledger.jsonl")
         self.fence_epoch = self._load_fence()
@@ -694,10 +759,33 @@ class ReadReplica:
                         end=shipment.end_seq):
             if shipment.skip:
                 self.manager.import_skip_marks(dict(shipment.skip))
-            if shipment.kind == "checkpoint":
+            if shipment.kind == "store":
+                self._receive_store_segment(shipment)
+            elif shipment.kind == "checkpoint":
                 self._adopt_checkpoint(shipment)
             else:
                 self._apply_segment(shipment)
+
+    def _receive_store_segment(self, shipment: Shipment) -> None:
+        """Copy one shipped snapshot-store file into the local spool.
+
+        Atomic (temp + ``os.replace``) and idempotent: redelivery
+        rewrites identical bytes, and the file's own CRC-guarded header
+        is verified when the adopting checkpoint opens it.
+        """
+        os.makedirs(self.store_root, exist_ok=True)
+        file_name = shipment.meta["file"]
+        fd, tmp = tempfile.mkstemp(dir=self.store_root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                stream.write(shipment.blob)
+            os.replace(tmp, os.path.join(self.store_root, file_name))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            raise
+        get_registry().counter(
+            "replication.store_segments_received").inc()
 
     def _adopt_checkpoint(self, shipment: Shipment) -> None:
         seq = shipment.first_seq
@@ -712,7 +800,17 @@ class ReadReplica:
             wal.gc(seq)
             if not wal.segments() and wal.next_seq < seq:
                 wal.fast_forward(seq)
-            self._load_from_disk()
+            try:
+                self._load_from_disk()
+            except RecoveryError as exc:
+                # A manifest-mode checkpoint whose store segments were
+                # lost in transit is unloadable; surface it as a gap so
+                # the cluster requests a resync (which re-ships the
+                # segment files along with the checkpoint).
+                raise ReplicationGapError(
+                    f"replica {self.name!r} adopted checkpoint at seq "
+                    f"{seq} but cannot restore from it: {exc}"
+                ) from exc
 
     def _apply_segment(self, shipment: Shipment) -> None:
         if self.server is None:
@@ -751,7 +849,9 @@ class ReadReplica:
             self.server.ingest(batch, logged_seq=seq)
 
     def _load_from_disk(self) -> None:
-        engine, seq = self.manager.restore_engine(self.algorithm_factory)
+        engine, seq = self.manager.restore_engine(
+            self.algorithm_factory, store_root=self.store_root,
+        )
         self.server = StreamingAnalyticsServer.from_engine(
             engine, self.algorithm_factory,
             batches_ingested=seq, recovery=self.manager,
@@ -1054,6 +1154,10 @@ class ReplicationCluster:
         )
         for key, value in self._replica_kwargs.items():
             resilient_kwargs.setdefault(key, value)
+        # Manifest-mode checkpoints record the old writer's store root;
+        # the promoted node owns copies in its own spool, shipped ahead
+        # of the checkpoints it adopted.
+        resilient_kwargs.setdefault("store_root", replica.store_root)
         resilient = ResilientAnalyticsServer.recover(
             manager, self.algorithm_factory, **resilient_kwargs
         )

@@ -50,6 +50,7 @@ __all__ = [
     "CrashFuzzOutcome",
     "CrashRound",
     "REPLICATION_SCENARIOS",
+    "StorageRound",
     "crash_recovery_equivalence",
     "deterministic_site_sweep",
     "replicated_crash_equivalence",
@@ -58,6 +59,8 @@ __all__ = [
     "resilient_site_sweep",
     "run_crash_fuzz",
     "run_plant_fault",
+    "storage_crash_round",
+    "storage_site_sweep",
 ]
 
 #: Main-loop window for fuzz servers; small keeps refinement histories
@@ -754,3 +757,168 @@ def run_plant_fault(seed: int = 0,
          f"completed={completed}) -- the failpoint registry is not "
          f"wired into the serving stack")
     return False
+
+
+# ----------------------------------------------------------------------
+# Storage crash sweep: kill inside snapshot-segment persistence
+# ----------------------------------------------------------------------
+@dataclass
+class StorageRound:
+    """One kill at ``storage.segment_write`` while an :class:`MmapStore`
+    writes a new snapshot generation."""
+
+    site: str
+    hit: int
+    crashed: bool = False
+    previous_readable: bool = False
+    debris_files: int = 0
+    swept: bool = False
+    equivalent: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (self.crashed and self.previous_readable and self.swept
+                and self.equivalent)
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"FAILED ({self.detail})"
+        return (f"[{self.site} hit={self.hit}] crash={self.crashed} "
+                f"previous-readable={self.previous_readable} "
+                f"debris={self.debris_files} swept={self.swept} "
+                f"equivalent={self.equivalent}: {status}")
+
+
+def _storage_round_batch(num_vertices: int,
+                         base_graph) -> "MutationBatch":
+    """A fixed mutation batch for the storage sweep: additions
+    (including one that grows the vertex set), plus deletions of real
+    edges -- enough to dirty both CSR directions."""
+    from repro.graph.mutation import MutationBatch
+
+    src, dst, _ = base_graph.all_edges()
+    deletions = [(int(src[0]), int(dst[0])),
+                 (int(src[src.size // 2]), int(dst[src.size // 2]))]
+    additions = [(0, num_vertices - 1), (3, 5),
+                 (num_vertices + 1, 2)]  # grows the vertex set
+    return MutationBatch.from_edges(
+        additions=additions, deletions=deletions,
+        add_weights=[1.25, 0.75, 1.5],
+        grow_to=num_vertices + 2,
+    )
+
+
+def storage_crash_round(hit: int, root: str,
+                        seed: int = 7) -> StorageRound:
+    """Kill the ``hit``-th segment finalize of a generation write and
+    prove the previous snapshot manifest survives the torn write.
+
+    The sequence mirrors a real process death: publish generation 0,
+    apply a mutation batch whose :meth:`MmapStore.adjust` is killed
+    mid-persist (leaving finalized orphans and a torn temp file on
+    disk), then "restart" by opening a *fresh* store over the same
+    root.  The round checks that
+
+    1. the reopened store still points at generation 0, verifies its
+       payload CRCs, and reads it bit-for-bit;
+    2. :meth:`MmapStore.compact` sweeps every torn temp and orphaned
+       segment the crash left behind;
+    3. retrying the same batch converges to exactly the state a heap
+       :class:`StreamingGraph` reaches -- the equivalence oracle.
+    """
+    from repro.graph.generators import rmat
+    from repro.graph.mutable import StreamingGraph
+    from repro.graph.storage import ARRAY_NAMES, MmapStore, StoreError
+
+    site = "storage.segment_write"
+    round_ = StorageRound(site=site, hit=hit)
+    os.makedirs(root, exist_ok=True)
+    heap_graph = rmat(6, 4, seed=seed, weighted=True)
+    store = MmapStore(root)
+    base = store.publish(heap_graph)
+    batch = _storage_round_batch(base.num_vertices, base)
+    pre_crash = {name: np.asarray(getattr(base, name)).copy()
+                 for name in ARRAY_NAMES}
+    current_before = store.current_snapshot
+
+    streaming = StreamingGraph(base)
+    with scoped_failpoints() as registry:
+        registry.arm(site, kind="crash", hit=hit)
+        try:
+            streaming.apply_batch(batch)
+        except InjectedCrash:
+            round_.crashed = True
+    if not round_.crashed:
+        round_.detail = "failpoint never fired"
+        return round_
+    del streaming, base, store  # the "process" died; drop its maps
+
+    # A torn temp and/or finalized-but-unpublished segments must be on
+    # disk -- otherwise the kill site proved nothing.
+    debris = [name for name in os.listdir(root)
+              if name.endswith(".tmp")
+              or (name.endswith(".seg") and "-g000001-" in name)]
+    round_.debris_files = len(debris)
+
+    reopened_store = MmapStore(root)
+    try:
+        round_.previous_readable = (
+            reopened_store.current_snapshot == current_before)
+        reopened_store.verify()
+        reopened = reopened_store.open_snapshot()
+        for name in ARRAY_NAMES:
+            if not np.array_equal(pre_crash[name],
+                                  np.asarray(getattr(reopened, name))):
+                round_.previous_readable = False
+                round_.detail = f"{name} diverged after reopen"
+                return round_
+    except StoreError as exc:
+        round_.previous_readable = False
+        round_.detail = f"reopen failed: {exc}"
+        return round_
+
+    reopened_store.compact()
+    referenced = set()
+    for snapshot_id in reopened_store.snapshot_ids():
+        referenced.update(reopened_store.segment_files(snapshot_id))
+    leftovers = [name for name in os.listdir(root)
+                 if name.endswith(".tmp")
+                 or (name.endswith(".seg") and name not in referenced)]
+    round_.swept = not leftovers
+    if not round_.swept:
+        round_.detail = f"debris survived compact: {leftovers}"
+        return round_
+
+    retry = StreamingGraph(reopened)
+    retry.apply_batch(batch)
+    oracle = StreamingGraph(heap_graph)
+    oracle.apply_batch(batch)
+    round_.equivalent = all(
+        np.array_equal(np.asarray(getattr(retry.graph, name)),
+                       np.asarray(getattr(oracle.graph, name)))
+        for name in ARRAY_NAMES
+    )
+    if not round_.equivalent:
+        round_.detail = "retry diverged from heap oracle"
+    return round_
+
+
+def storage_site_sweep(
+    state_root: Optional[str] = None,
+    seed: int = 7,
+    emit: Callable[[str], None] = lambda _: None,
+) -> List[StorageRound]:
+    """Kill at every segment position of a generation write (six
+    canonical arrays, so hits 1..6) and require every round ``ok``."""
+    from repro.graph.storage import ARRAY_NAMES
+
+    root = state_root or tempfile.mkdtemp(prefix="storage-sweep-")
+    rounds = []
+    for hit in range(1, len(ARRAY_NAMES) + 1):
+        round_dir = os.path.join(root, f"hit-{hit}")
+        round_ = storage_crash_round(hit, round_dir, seed=seed)
+        rounds.append(round_)
+        emit(round_.summary())
+        if round_.ok:
+            shutil.rmtree(round_dir, ignore_errors=True)
+    return rounds

@@ -43,6 +43,7 @@ __all__ = [
     "KNOWN_SITES",
     "REPLICATION_SITES",
     "RESILIENCE_SITES",
+    "STORAGE_SITES",
     "get_failpoints",
     "hit",
     "scoped_failpoints",
@@ -85,7 +86,11 @@ __all__ = [
 #:                       replica lag);
 #: ``replica.query``     at the start of a replica-served query (fault
 #:                       = the replica fails mid-query, which is what
-#:                       drives router failover).
+#:                       drives router failover);
+#: ``storage.segment_write`` before a snapshot-store segment temp file
+#:                       is renamed into place (crash = the process
+#:                       dies with a torn segment on disk; the
+#:                       previous manifest must stay readable).
 KNOWN_SITES = (
     "wal.append",
     "wal.append.torn",
@@ -100,6 +105,7 @@ KNOWN_SITES = (
     "replication.reorder",
     "replication.receive",
     "replica.query",
+    "storage.segment_write",
 )
 
 #: The sites exercised by a plain durable server (no admission layer).
@@ -114,7 +120,12 @@ RESILIENCE_SITES = KNOWN_SITES[6:9]
 
 #: The sites only the replication layer (writer shipping, replica
 #: apply, replica-served queries) passes through.
-REPLICATION_SITES = KNOWN_SITES[9:]
+REPLICATION_SITES = KNOWN_SITES[9:13]
+
+#: The sites only the snapshot-storage layer passes through (segment
+#: persistence under ``MmapStore``); ``storage_site_sweep`` in the
+#: crash fuzzer kills here and proves the previous manifest survives.
+STORAGE_SITES = KNOWN_SITES[13:]
 
 _KINDS = ("crash", "fault")
 

@@ -12,6 +12,7 @@ from repro.testing.crash import (
     resilient_site_sweep,
     run_crash_fuzz,
     run_plant_fault,
+    storage_site_sweep,
 )
 from repro.testing.faults import DURABLE_SITES, RESILIENCE_SITES
 from repro.testing.workloads import generate_workload
@@ -43,6 +44,23 @@ class TestSiteSweep:
         torn = next(r for r in rounds if r.site == "wal.append.torn")
         assert torn.torn_truncated >= 1
         assert torn.ok
+
+
+class TestStorageSweep:
+    def test_torn_segment_write_leaves_previous_manifest_readable(
+            self, tmp_path):
+        rounds = storage_site_sweep(state_root=str(tmp_path))
+        assert len(rounds) == 6  # one kill per segment of a generation
+        for round_ in rounds:
+            assert round_.crashed, (
+                f"hit={round_.hit}: the failpoint never fired, so the "
+                f"round proved nothing"
+            )
+            assert round_.debris_files >= 1, (
+                f"hit={round_.hit}: no torn files on disk -- the kill "
+                f"site is after the damage window"
+            )
+            assert round_.ok, round_.summary()
 
 
 class TestSingleRound:

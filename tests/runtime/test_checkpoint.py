@@ -173,18 +173,18 @@ class TestValidationOnLoad:
     def test_out_of_range_index_rejected(self, tmp_path, graph, rng):
         path = _saved_path(tmp_path, graph, rng)
 
-        def corrupt_src(payload):
-            payload["src"] = payload["src"].copy()
-            payload["src"][0] = int(payload["num_vertices"]) + 5
+        def corrupt_targets(payload):
+            payload["out_targets"] = payload["out_targets"].copy()
+            payload["out_targets"][0] = int(payload["num_vertices"]) + 5
             refresh_crc(payload)
 
         def refresh_crc(payload):
             del payload["payload_crc32"]
             payload["payload_crc32"] = np.uint32(_payload_crc32(payload))
 
-        _tamper(path, corrupt_src)
+        _tamper(path, corrupt_targets)
         with pytest.raises(ValueError,
-                           match="src indexes outside"):
+                           match="out_targets indexes outside"):
             load_engine(path, PageRank())
 
     def test_wrong_values_length_rejected(self, tmp_path, graph, rng):

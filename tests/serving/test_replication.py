@@ -378,3 +378,84 @@ class TestStatus:
     def test_offline_status_requires_a_directory(self, tmp_path):
         with pytest.raises(ReplicationError, match="not a directory"):
             replication_status(str(tmp_path / "absent"))
+
+
+# ----------------------------------------------------------------------
+# Snapshot-store segment shipping (mmap writer graphs)
+# ----------------------------------------------------------------------
+class TestStoreSegmentShipping:
+    """When the writer's graph lives in an :class:`MmapStore`, its
+    manifest-mode checkpoints reference store segment files; those
+    files must ship through the transport ahead of the checkpoint, and
+    a replica bootstrap must open them from its *own* store spool as
+    memmaps -- a file copy, not a full-WAL replay."""
+
+    def _mmap_cluster(self, tmp_path):
+        from repro.graph.storage import MmapStore
+
+        store = MmapStore(str(tmp_path / "writer-store"))
+        graph = store.publish(
+            rmat(scale=6, edge_factor=5, seed=17, weighted=True))
+        cluster = build_cluster(graph, tmp_path / "cluster",
+                                transport="directory")
+        return graph, cluster
+
+    def test_segments_ship_through_directory_transport(
+            self, rng, tmp_path):
+        from repro.obs.registry import scoped_registry
+
+        with scoped_registry() as registry:
+            graph, cluster = self._mmap_cluster(tmp_path)
+            batches = [make_random_batch(graph, rng, 8, 8)
+                       for _ in range(6)]
+            for batch in batches:
+                cluster.submit(batch)
+                cluster.replicate()
+            cluster.sync()
+            shipped = registry.counter(
+                "replication.store_segments_shipped").value
+            assert shipped >= 6, (
+                "manifest-mode checkpoints must ship their snapshot "
+                "segment files (six arrays per snapshot)"
+            )
+            expected = shadow_values(graph, batches)
+            for name, replica in cluster.replicas.items():
+                assert np.array_equal(replica.approximate_values,
+                                      expected), name
+                spooled = [f for f in os.listdir(replica.store_root)
+                           if f.endswith(".seg")]
+                assert spooled, (
+                    f"replica {name} has no shipped store segments"
+                )
+            cluster.close()
+
+    def test_replica_restart_bootstraps_from_local_spool(
+            self, rng, tmp_path):
+        """A restarted replica restores the checkpointed graph from
+        segment files in its own spool -- memmap views under the
+        replica's store root, and strictly fewer WAL records replayed
+        than the writer ingested."""
+        graph, cluster = self._mmap_cluster(tmp_path)
+        batches = [make_random_batch(graph, rng, 8, 8)
+                   for _ in range(6)]
+        for batch in batches:
+            cluster.submit(batch)
+            cluster.replicate()
+        cluster.sync()
+        cluster.kill_replica("r0")
+        replica = cluster.restart_replica("r0")
+        cluster.sync()
+        assert np.array_equal(replica.approximate_values,
+                              shadow_values(graph, batches))
+        # The restored snapshot must be served from the replica's own
+        # spool, not the writer's store directory.
+        restored = replica.server.engine.graph
+        targets = restored.out_targets
+        assert isinstance(targets, np.memmap)
+        assert os.path.abspath(targets.filename).startswith(
+            os.path.abspath(replica.store_root))
+        # Bootstrap position: the replica resumed from a checkpoint,
+        # not from seq 0 (full-WAL replay).
+        generations = replica.manager.checkpoints()
+        assert generations and generations[-1][0] > 0
+        cluster.close()

@@ -112,13 +112,22 @@ class TestSiteRoster:
             DURABLE_SITES,
             REPLICATION_SITES,
             RESILIENCE_SITES,
+            STORAGE_SITES,
         )
 
-        assert (tuple(DURABLE_SITES) + tuple(RESILIENCE_SITES)
-                + tuple(REPLICATION_SITES)) == tuple(KNOWN_SITES)
-        assert not set(DURABLE_SITES) & set(RESILIENCE_SITES)
-        assert not set(DURABLE_SITES) & set(REPLICATION_SITES)
-        assert not set(RESILIENCE_SITES) & set(REPLICATION_SITES)
+        rosters = (DURABLE_SITES, RESILIENCE_SITES, REPLICATION_SITES,
+                   STORAGE_SITES)
+        assert sum((tuple(r) for r in rosters), ()) == tuple(KNOWN_SITES)
+        for index, left in enumerate(rosters):
+            for right in rosters[index + 1:]:
+                assert not set(left) & set(right)
+
+    def test_storage_sites_registered(self):
+        from repro.testing.faults import DURABLE_SITES, STORAGE_SITES
+
+        assert "storage.segment_write" in KNOWN_SITES
+        assert "storage.segment_write" in STORAGE_SITES
+        assert "storage.segment_write" not in DURABLE_SITES
 
     def test_replication_sites_registered(self):
         from repro.testing.faults import DURABLE_SITES, REPLICATION_SITES
