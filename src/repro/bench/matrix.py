@@ -287,14 +287,19 @@ def _parse_backend(spec: str) -> ExecutionBackend:
 
 
 def _parse_faults(spec: str) -> int:
-    """``none`` -> 0, ``poison:<N>`` -> N (poison cadence in batches)."""
-    if spec == "none":
+    """``none``/``chaos`` -> 0, ``poison:<N>`` -> N (cadence in batches).
+
+    ``chaos`` carries no cadence: it wraps every replication link in a
+    seeded lossy transport (drop/duplicate/corrupt/reorder/delay at
+    10%), so it needs a replication axis and is handled in the serving
+    executor."""
+    if spec in ("none", "chaos"):
         return 0
     name, _, suffix = spec.partition(":")
     if name == "poison" and suffix.isdigit() and int(suffix) > 0:
         return int(suffix)
     raise MatrixError(f"unknown fault plan {spec!r}; "
-                      f"use 'none' or 'poison:<N>'")
+                      f"use 'none', 'chaos', or 'poison:<N>'")
 
 
 def _parse_replication(spec: str) -> Tuple[int, bool]:
@@ -629,6 +634,20 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
                 resilient, BENCH_ALGORITHMS[config["algorithm"]],
                 state_dir, replicas=replicas,
             )
+        chaos_wrappers = []
+        if str(config["faults"]) == "chaos":
+            if cluster is None:
+                raise MatrixError(
+                    "fault plan 'chaos' requires a replication axis "
+                    "(it wraps the replica shipping links)"
+                )
+            from repro.serving.chaos import ChaosConfig, wrap_cluster
+
+            chaos_wrappers = wrap_cluster(
+                cluster,
+                ChaosConfig.all_faults(seed=int(config["seed"]),
+                                       rate=0.1),
+            )
         per_batch: List[float] = []
         start_all = time.perf_counter()
         for index, batch in enumerate(batches):
@@ -652,6 +671,8 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
                 lag_max = max(lag_max, cluster.staleness())
             per_batch.append(time.perf_counter() - start)
         resilient.drain()
+        for wrapper in chaos_wrappers:
+            wrapper.flush()
         if cluster is not None:
             cluster.sync()
         setup_seconds = time.perf_counter() - start_all
@@ -686,6 +707,14 @@ def _execute_serving_run(config: Dict, graph: CSRGraph,
                 replica.fence_rejections
                 for replica in cluster.replicas.values()
             )
+        if chaos_wrappers:
+            work["chaos_faults_injected"] = sum(
+                count
+                for wrapper in chaos_wrappers
+                for kind, count in wrapper.counts.items()
+                if kind != "sent"
+            )
+            work["dead_letters"] = len(cluster.dead_letters)
         timing = {
             "wall_seconds": _wall_summary(per_batch, 0.0),
             "drain_seconds": round(

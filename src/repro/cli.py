@@ -29,6 +29,11 @@ Commands
            the replication scenarios (writer-kill, replica-kill,
            segment-drop, stale-writer-fence) and asserts every replica
            converges bit-for-bit with fenced segments in the ledger.
+           ``--crash --chaos`` wraps every replication link in a
+           seeded lossy transport (drop, duplicate, corrupt, reorder,
+           delay -- all five at ``--chaos-rate``) and asserts
+           bit-for-bit convergence across ``--chaos-seeds`` seeds plus
+           dead-letter (never hang) behaviour on a black-hole link.
 ``serve``  run a durable streaming deployment: ingest seeded batches
            with a write-ahead log and periodic atomic checkpoints
            (``--wal DIR --checkpoint-every N``).  ``--admission`` adds
@@ -62,7 +67,13 @@ Commands
            the recovered values bit-for-bit.
 ``replication-status`` inspect a replicated state directory tree
            offline: writer/replica WAL positions, cluster epoch, fence
-           ledgers -- usable while nothing is serving.
+           ledgers, dead-letter count, scrub verdicts -- usable while
+           nothing is serving.
+``scrub``  re-verify every CRC in a state directory (WAL records,
+           checkpoint payloads, snapshot-store segments) and report
+           bit-rot; ``--repair`` heals what can be healed standalone
+           (bit-for-bit direction rebuild, covered-WAL GC, checkpoint
+           sidelining) and exits 1 if damage remains.
 
 Graph specs
 -----------
@@ -789,7 +800,33 @@ def _cmd_replication_status(args) -> int:
     return 0
 
 
+def _cmd_scrub(args) -> int:
+    import json as _json
+
+    from repro.recovery.scrub import scrub_state_dir
+
+    report = scrub_state_dir(args.state_dir, store_root=args.store_root,
+                             repair=args.repair)
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for finding in report.findings:
+            status = "repaired" if finding.repaired else "UNREPAIRED"
+            line = (f"  [{status}] {finding.kind} {finding.path}: "
+                    f"{finding.detail}")
+            if finding.repair:
+                line += f" -- {finding.repair}"
+            print(line)
+    if report.ok:
+        return 0
+    return 0 if (args.repair and report.repaired) else 1
+
+
 def _cmd_fuzz(args) -> int:
+    import json as _json
+    import os as _os
+
     from repro.testing import parse_budget, run_fuzz
 
     if args.plant_fault and not args.crash:
@@ -801,8 +838,13 @@ def _cmd_fuzz(args) -> int:
     if args.storage and not args.crash:
         print("--storage requires --crash")
         return 2
+    if args.chaos and not args.crash:
+        print("--chaos requires --crash")
+        return 2
     if args.crash:
         from repro.testing.crash import (
+            chaos_convergence_sweep,
+            chaos_dead_letter_round,
             replicated_scenario_sweep,
             run_crash_fuzz,
             run_plant_fault,
@@ -811,6 +853,39 @@ def _cmd_fuzz(args) -> int:
 
         if args.plant_fault:
             return 0 if run_plant_fault(seed=args.seed) else 1
+        if args.chaos:
+            rounds = chaos_convergence_sweep(
+                seeds=range(args.seed, args.seed + args.chaos_seeds),
+                rate=args.chaos_rate,
+                state_root=args.artifacts_dir,
+                emit=print,
+            )
+            dead = chaos_dead_letter_round(
+                seed=args.seed + 1009,
+                state_root=(
+                    _os.path.join(args.artifacts_dir, "dead_letter")
+                    if args.artifacts_dir else None
+                ),
+            )
+            print(dead.summary())
+            rounds.append(dead)
+            if args.artifacts_dir:
+                _os.makedirs(args.artifacts_dir, exist_ok=True)
+                for round_ in rounds:
+                    path = _os.path.join(
+                        args.artifacts_dir,
+                        f"chaos-schedule-seed{round_.seed}.json",
+                    )
+                    with open(path, "w", encoding="utf-8") as stream:
+                        _json.dump(
+                            {"seed": round_.seed, "rate": round_.rate,
+                             "faults": round_.faults,
+                             "dead_letters": round_.dead_letters,
+                             "ok": round_.ok, "detail": round_.detail,
+                             "schedule": round_.schedule},
+                            stream, indent=1, sort_keys=True,
+                        )
+            return 0 if all(round_.ok for round_ in rounds) else 1
         if args.storage:
             rounds = storage_site_sweep(
                 state_root=args.artifacts_dir, seed=args.seed,
@@ -1139,6 +1214,18 @@ def build_parser() -> argparse.ArgumentParser:
                            "write (storage.segment_write); the torn "
                            "write must leave the previous manifest "
                            "readable and a retry must converge")
+    fuzz.add_argument("--chaos", action="store_true",
+                      help="with --crash: wrap every replication link "
+                           "in a seeded lossy transport (drop, "
+                           "duplicate, corrupt, reorder, delay) and "
+                           "assert bit-for-bit convergence plus "
+                           "dead-letter behaviour on a black-hole link")
+    fuzz.add_argument("--chaos-rate", type=float, default=0.1,
+                      help="per-fault-kind injection probability for "
+                           "--chaos (default 0.1)")
+    fuzz.add_argument("--chaos-seeds", type=int, default=5,
+                      help="number of chaos seeds to sweep, starting "
+                           "at --seed (default 5)")
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     repl_status = sub.add_parser(
@@ -1149,6 +1236,30 @@ def build_parser() -> argparse.ArgumentParser:
                              help="the serve --wal directory (replica "
                                   "state lives under replicas/)")
     repl_status.set_defaults(handler=_cmd_replication_status)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="re-verify every CRC in a state directory and optionally "
+             "repair bit-rot",
+    )
+    scrub.add_argument("state_dir",
+                       help="state directory to scrub (wal/ + "
+                            "checkpoints/ + optional snapshot store)")
+    scrub.add_argument("--repair", action="store_true",
+                       help="heal what can be healed standalone: "
+                            "rebuild a damaged CSR/CSC direction "
+                            "bit-for-bit from the clean one, GC "
+                            "checkpoint-covered WAL damage, sideline "
+                            "corrupt checkpoints; exit 1 if damage "
+                            "remains")
+    scrub.add_argument("--store-root", default=None,
+                       help="snapshot-store root holding this node's "
+                            "segment files (a replica's spool); "
+                            "defaults to the roots referenced by "
+                            "manifest-mode checkpoints")
+    scrub.add_argument("--json", action="store_true",
+                       help="emit the full scrub report as JSON")
+    scrub.set_defaults(handler=_cmd_scrub)
     return parser
 
 

@@ -65,6 +65,8 @@ __all__ = [
     "open_snapshot_reference",
     "store_from_env",
     "store_from_spec",
+    "verify_segment_blob",
+    "verify_segment_file",
 ]
 
 #: The six canonical arrays of a CSR+CSC snapshot, in manifest order.
@@ -218,6 +220,48 @@ def _read_header(path: str) -> Tuple[str, int, int]:
     return dtype, int(count), int(crc)
 
 
+def verify_segment_file(path: str) -> Tuple[str, int, int]:
+    """Header + full payload-CRC check of one ``.seg`` file.
+
+    Returns ``(dtype, count, crc32)`` on success; raises
+    :class:`StoreError` on structural damage or payload bit-rot.  This
+    is the primitive the integrity scrubber and the replica receive
+    path share with :meth:`MmapStore.verify`.
+    """
+    dtype, count, crc = _read_header(path)
+    actual = 0
+    with open(path, "rb") as stream:
+        stream.seek(_HEADER_SIZE)
+        while True:
+            block = stream.read(1 << 20)
+            if not block:
+                break
+            actual = zlib.crc32(block, actual)
+    if actual & 0xFFFFFFFF != crc:
+        raise StoreError(f"segment {path} payload CRC mismatch")
+    return dtype, count, crc
+
+
+def verify_segment_blob(blob: bytes, context: str = "<blob>") -> None:
+    """Like :func:`verify_segment_file` for an in-memory segment image
+    (a shipped store-segment payload that has not touched disk yet)."""
+    if len(blob) < _HEADER_SIZE:
+        raise StoreError(f"segment {context} truncated before header end")
+    magic, dtype_raw, count, crc = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise StoreError(f"segment {context} has bad magic {magic!r}")
+    dtype = dtype_raw.rstrip(b"\0").decode("ascii", errors="replace")
+    if dtype not in ("<i8", "<f8"):
+        raise StoreError(f"segment {context} has unknown dtype {dtype!r}")
+    expected = _HEADER_SIZE + int(count) * np.dtype(dtype).itemsize
+    if len(blob) != expected:
+        raise StoreError(
+            f"segment {context}: size {len(blob)} != expected {expected}"
+        )
+    if zlib.crc32(blob[_HEADER_SIZE:]) & 0xFFFFFFFF != crc:
+        raise StoreError(f"segment {context} payload CRC mismatch")
+
+
 def _evict_pages(*arrays) -> None:
     """Drop the resident pages behind memmap-backed arrays.
 
@@ -270,7 +314,15 @@ class _SegmentFile:
         # backpatch + rename: an injected crash here leaves a torn
         # temp file (payload without a valid header, never renamed),
         # which is exactly the artifact a real mid-write kill leaves.
-        faults.hit("storage.segment_write")
+        # A corrupt plan flips one payload byte *after* the streaming
+        # CRC was computed -- planted bit-rot the header cannot see,
+        # which only a payload re-read (scrub/verify) can detect.
+        if faults.hit_corruptible("storage.segment_write") and self.count:
+            self._stream.flush()
+            offset = _HEADER_SIZE + (self.count * self.dtype.itemsize) // 2
+            fd = self._stream.fileno()
+            byte = os.pread(fd, 1, offset)
+            os.pwrite(fd, bytes([byte[0] ^ 0x01]), offset)
         self._stream.flush()
         self._stream.seek(0)
         self._stream.write(_pack_header(str(self.dtype.str), self.count,

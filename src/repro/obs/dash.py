@@ -230,9 +230,14 @@ def _replication_panel(replicas: Sequence[Dict], width: int,
             f"fence=e{event.get('fence_epoch', '?')}"
             + (f"  rejections={event['fence_rejections']}"
                if event.get("fence_rejections") else "")
+            + ("  QUARANTINED" if event.get("quarantined") else "")
         )
     last = replicas[-1]
-    lines.append(f"  epoch={last.get('epoch', '?')}")
+    lines.append(
+        f"  epoch={last.get('epoch', '?')}"
+        f"  dead_letters={last.get('dead_letters', 0)}"
+        f"  nacks={last.get('shipments_rejected', 0)}"
+    )
 
 
 def _latency_panel(streams: Dict[str, List[Dict]], width: int,

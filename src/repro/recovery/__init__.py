@@ -15,6 +15,13 @@ A streaming deployment survives a crash as *checkpoint + WAL tail*:
 ``repro fuzz --crash`` (:mod:`repro.testing.crash`) proves the recovery
 path bit-for-bit equivalent to an uninterrupted run at every registered
 failpoint; see ``docs/operations.md`` for the operational story.
+
+:mod:`repro.recovery.scrub` closes the loop on silent damage: a
+background :class:`~repro.recovery.scrub.IntegrityScrubber` re-checks
+every CRC these layers wrote (WAL records, checkpoint payloads,
+snapshot-store segments) and -- via ``repro scrub --repair`` -- heals
+bit-rot by bit-for-bit direction rebuild, checkpoint-covered garbage
+collection, or quarantine + re-ship from a replication writer.
 """
 
 from repro.recovery.manager import (
@@ -22,6 +29,12 @@ from repro.recovery.manager import (
     RecoveryManager,
     SegmentGapError,
     default_poison_check,
+)
+from repro.recovery.scrub import (
+    IntegrityScrubber,
+    ScrubFinding,
+    ScrubReport,
+    scrub_state_dir,
 )
 from repro.recovery.wal import (
     SealedSegment,
@@ -32,8 +45,11 @@ from repro.recovery.wal import (
 )
 
 __all__ = [
+    "IntegrityScrubber",
     "RecoveryError",
     "RecoveryManager",
+    "ScrubFinding",
+    "ScrubReport",
     "SealedSegment",
     "SegmentGapError",
     "WALCorruptionError",
@@ -41,4 +57,5 @@ __all__ = [
     "batch_to_payload",
     "default_poison_check",
     "payload_to_batch",
+    "scrub_state_dir",
 ]

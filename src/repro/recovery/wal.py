@@ -128,8 +128,14 @@ class SealedSegment:
         return self.end_seq - self.first_seq
 
     def lines(self) -> List[str]:
-        with open(self.path, encoding="utf-8") as stream:
-            return [line for line in stream if line.endswith("\n")]
+        from repro.testing import faults
+
+        with open(self.path, "rb") as stream:
+            raw = stream.read()
+        if faults.hit_corruptible("wal.segment_read"):
+            raw = faults.flip_byte(raw)
+        text = raw.decode("utf-8", errors="surrogateescape")
+        return [part + "\n" for part in text.split("\n")[:-1]]
 
 
 class WriteAheadLog:

@@ -48,6 +48,7 @@ rejects obvious mismatches.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import tempfile
@@ -72,6 +73,7 @@ __all__ = [
     "read_checkpoint_extra",
     "read_store_manifest",
     "save_engine",
+    "verify_checkpoint_blob",
 ]
 
 _FORMAT_VERSION = 3
@@ -217,6 +219,30 @@ def _checkpoint_data(path: str):
     except (zipfile.BadZipFile, zlib.error, EOFError, KeyError) as exc:
         raise ValueError(
             f"corrupt checkpoint: {path} is unreadable "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def verify_checkpoint_blob(blob: bytes, context: str = "<blob>") -> None:
+    """Run the full payload verification on checkpoint bytes *before*
+    they land anywhere.
+
+    The end-to-end integrity gate for replication: a checkpoint blob
+    corrupted in transit must be rejected at receive time, never
+    adopted onto a replica's disk where a later reload would silently
+    fall back past it.  Raises :class:`ValueError` on any damage --
+    bad zip structure, member CRC, payload checksum, or structural
+    violation.
+    """
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+            _verify_payload(data, context)
+    except ValueError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, EOFError, KeyError,
+            OSError) as exc:
+        raise ValueError(
+            f"corrupt checkpoint: {context} is unreadable "
             f"({type(exc).__name__}: {exc})"
         ) from exc
 

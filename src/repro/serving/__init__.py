@@ -21,11 +21,17 @@ batch and served query into a wide event and an SLO evaluator tick.
 segments and checkpoints to read replicas (with epoch fencing and
 promotion), and :mod:`repro.serving.router` routes deadline-budgeted
 queries across them with lag-aware candidate selection and
-deadline-preserving failover.
+deadline-preserving failover.  :mod:`repro.serving.chaos` turns the
+transport hostile on demand -- seeded drop/duplicate/reorder/delay/
+corrupt fault plans -- which the bounded
+:class:`~repro.serving.replication.RetryPolicy`, CRC NACKs, and the
+durable dead-letter ledger are proven against.
 """
 
+from repro.serving.chaos import ChaosConfig, ChaosTransport, wrap_cluster
 from repro.serving.observe import PlantedLatency, ServingObserver
 from repro.serving.replication import (
+    DeadLetterLedger,
     DirectoryTransport,
     EpochAuthority,
     InProcessTransport,
@@ -35,7 +41,10 @@ from repro.serving.replication import (
     ReplicationError,
     ReplicationGapError,
     ReplicationWriter,
+    RetryPolicy,
     Shipment,
+    ShipmentIntegrityError,
+    corrupt_shipment,
     replication_status,
 )
 from repro.serving.resilience import (
@@ -58,7 +67,10 @@ __all__ = [
     "ADMISSION_POLICIES",
     "AnalyticsSuite",
     "BreakerConfig",
+    "ChaosConfig",
+    "ChaosTransport",
     "CircuitBreaker",
+    "DeadLetterLedger",
     "DirectoryTransport",
     "EpochAuthority",
     "HealthSnapshot",
@@ -74,10 +86,14 @@ __all__ = [
     "ReplicationGapError",
     "ReplicationWriter",
     "ResilientAnalyticsServer",
+    "RetryPolicy",
     "RoutedResult",
     "ServingObserver",
     "Shipment",
+    "ShipmentIntegrityError",
     "StalenessError",
     "StreamingAnalyticsServer",
     "SuiteRecovery",
+    "corrupt_shipment",
+    "wrap_cluster",
 ]

@@ -48,11 +48,25 @@ exactly the records the writer skipped and converges bit-for-bit --
 reconstruct the writer's batches to the bit.
 
 Failpoints (:mod:`repro.testing.faults`): ``replication.ship`` (crash =
-writer dies mid-ship; fault = shipment lost in transit),
-``replication.reorder`` (fault = delivery order swapped),
-``replication.receive`` (crash = replica dies mid-apply; fault =
-delivery deferred one round -- planted lag), ``replica.query`` (fault =
-replica fails mid-query, driving router failover).
+writer dies mid-ship; fault = shipment lost in transit; corrupt = one
+payload byte flipped in transit), ``replication.reorder`` (fault =
+delivery order swapped), ``replication.receive`` (crash = replica dies
+mid-apply; fault = delivery deferred one round -- planted lag),
+``replica.query`` (fault = replica fails mid-query, driving router
+failover).
+
+**Hostile transports**: every shipment's payload is CRC-guarded end to
+end (WAL record CRCs, store-segment headers), so a replica detects a
+corrupt delivery at apply time and raises
+:class:`ShipmentIntegrityError` -- a NACK.  The cluster answers a NACK
+the same way it answers a gap: discard the bad shipment, rewind the
+link, re-ship.  Retries are bounded by a :class:`RetryPolicy`
+(deterministic-jitter exponential backoff, per-link attempt budget);
+a link that exhausts its budget has its undelivered range recorded on
+the durable :class:`DeadLetterLedger` instead of hanging the writer.
+:class:`~repro.serving.chaos.ChaosTransport` wraps any transport with
+a seeded drop/duplicate/reorder/delay/corrupt schedule to prove all of
+this converges.
 """
 
 from __future__ import annotations
@@ -60,14 +74,17 @@ from __future__ import annotations
 import base64
 import json
 import os
+import shutil
 import tempfile
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.mutation import MutationBatch
+from repro.graph.storage import StoreError, verify_segment_blob
 from repro.obs import trace
 from repro.obs.registry import get_registry
 from repro.recovery.manager import (
@@ -77,7 +94,10 @@ from repro.recovery.manager import (
 )
 from repro.recovery.wal import SealedSegment, payload_to_batch
 from repro.recovery.wal import _decode_record  # CRC-checked end-to-end
-from repro.runtime.checkpoint import read_store_manifest
+from repro.runtime.checkpoint import (
+    read_store_manifest,
+    verify_checkpoint_blob,
+)
 from repro.runtime.deadline import Deadline
 from repro.serving.resilience import ResilientAnalyticsServer
 from repro.serving.server import QueryResult, StreamingAnalyticsServer
@@ -85,6 +105,7 @@ from repro.testing import faults
 from repro.testing.faults import InjectedFault
 
 __all__ = [
+    "DeadLetterLedger",
     "DirectoryTransport",
     "EpochAuthority",
     "InProcessTransport",
@@ -94,7 +115,10 @@ __all__ = [
     "ReplicationError",
     "ReplicationGapError",
     "ReplicationWriter",
+    "RetryPolicy",
     "Shipment",
+    "ShipmentIntegrityError",
+    "corrupt_shipment",
     "replication_status",
 ]
 
@@ -109,6 +133,12 @@ class ReplicationError(RuntimeError):
 
 class ReplicationGapError(ReplicationError):
     """A delivered shipment starts past the replica's position."""
+
+
+class ShipmentIntegrityError(ReplicationError):
+    """A delivered shipment failed CRC re-verification (bit-rot in
+    transit).  The cluster treats it as a NACK: discard, rewind the
+    link, re-ship under the retry policy."""
 
 
 class ReplicaUnavailableError(ConnectionError):
@@ -177,6 +207,29 @@ class Shipment:
                   for seq, reason in payload["skip"].items()},
             meta=dict(payload.get("meta", {})),
         )
+
+
+def corrupt_shipment(shipment: Shipment) -> Shipment:
+    """``shipment`` with one payload byte flipped -- transit bit-rot.
+
+    The flip lands *inside* the CRC-guarded payload (the middle WAL
+    line, or the blob), never in the JSON envelope: a corrupt shipment
+    still parses and routes, and only the replica's end-to-end CRC
+    re-verification can catch it.  WAL lines are ASCII, and XOR 0x01
+    keeps ASCII ASCII, so the flipped line survives JSON transport
+    intact.  A shipment with no payload is returned unchanged.
+    """
+    if shipment.lines:
+        lines = list(shipment.lines)
+        middle = len(lines) // 2
+        raw = lines[middle].encode("utf-8")
+        lines[middle] = faults.flip_byte(raw).decode(
+            "utf-8", errors="surrogateescape"
+        )
+        return dc_replace(shipment, lines=tuple(lines))
+    if shipment.blob:
+        return dc_replace(shipment, blob=faults.flip_byte(shipment.blob))
+    return shipment
 
 
 # ----------------------------------------------------------------------
@@ -253,6 +306,10 @@ class DirectoryTransport(ReplicationTransport):
     at its first unacked shipment.
     """
 
+    #: Consecutive failed decodes of the same spool file before it is
+    #: sidelined (renamed to ``*.torn``) instead of retried forever.
+    TORN_RETRIES = 3
+
     def __init__(self, directory: str) -> None:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
@@ -260,6 +317,8 @@ class DirectoryTransport(ReplicationTransport):
         self._cursor_path = os.path.join(directory, "cursor.json")
         self._cursor = self._load_cursor()
         self._send_count = len(self._spool())
+        self._torn_name: Optional[str] = None
+        self._torn_streak = 0
 
     def _load_cursor(self) -> int:
         if not os.path.exists(self._cursor_path):
@@ -294,8 +353,32 @@ class DirectoryTransport(ReplicationTransport):
             if int(name[5:-5]) < self._cursor:
                 continue
             path = os.path.join(self.directory, name)
-            with open(path, encoding="utf-8") as stream:
-                return Shipment.from_json(stream.read())
+            try:
+                with open(path, encoding="utf-8") as stream:
+                    shipment = Shipment.from_json(stream.read())
+            except (OSError, ValueError, KeyError, TypeError):
+                # A torn or partially-written spool file (a producer
+                # without our atomic temp+replace discipline, or a
+                # filesystem that tore the write).  Skip-and-retry: the
+                # poll loop sees an empty inbox this round and comes
+                # back; after TORN_RETRIES consecutive failures the
+                # file is sidelined as ``*.torn`` so later shipments
+                # can flow (the resulting gap heals via resync).
+                if name == self._torn_name:
+                    self._torn_streak += 1
+                else:
+                    self._torn_name, self._torn_streak = name, 1
+                get_registry().counter(
+                    "replication.torn_spool_skips").inc()
+                if self._torn_streak >= self.TORN_RETRIES:
+                    os.replace(path, path + ".torn")
+                    self._torn_name, self._torn_streak = None, 0
+                    get_registry().counter(
+                        "replication.torn_spool_dropped").inc()
+                    continue
+                return None
+            self._torn_name, self._torn_streak = None, 0
+            return shipment
         return None
 
     def ack(self) -> None:
@@ -365,6 +448,79 @@ class EpochAuthority:
             if os.path.exists(tmp):
                 os.remove(tmp)
             raise
+
+
+# ----------------------------------------------------------------------
+# Retry budget + dead letters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission budget for one replica link.
+
+    The cluster's :meth:`ReplicationCluster.sync` treats a delivery
+    round in which a lagging link made no progress as one consumed
+    attempt -- the deterministic stand-in for an ack timeout (real time
+    never enters the decision, so fuzz runs replay bit-for-bit).  The
+    backoff between attempts is real wall-clock sleep, exponential with
+    deterministic jitter: ``jitter_seed`` fully determines the
+    schedule, so two runs of the same seed back off identically.
+    """
+
+    max_attempts: int = 8
+    backoff_base: float = 0.001
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.05
+    jitter_seed: int = 0
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep budget (seconds) before retry ``attempt`` (1-based)."""
+        if attempt <= 1:
+            return 0.0
+        raw = self.backoff_base * self.backoff_factor ** (attempt - 2)
+        rng = np.random.default_rng((self.jitter_seed, attempt))
+        return min(raw, self.backoff_cap) * (0.5 + 0.5 * rng.random())
+
+
+class DeadLetterLedger:
+    """Durable JSONL record of deliveries that exhausted their budget.
+
+    One entry per abandoned range: the link name, the undelivered
+    ``[first_seq, end_seq)`` span, why it was given up on, and how many
+    attempts were burned.  The ledger is append-only and survives
+    restarts -- ``repro replication-status`` surfaces its size so an
+    operator can triage (see docs/operations.md, "Chaos, retry, and
+    repair").
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._count = len(self.entries())
+
+    def record(self, link: str, first_seq: int, end_seq: int,
+               reason: str, attempts: int) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps({
+                "link": link,
+                "first_seq": first_seq,
+                "end_seq": end_seq,
+                "reason": reason,
+                "attempts": attempts,
+            }, sort_keys=True) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        self._count += 1
+        get_registry().counter("replication.dead_letters").inc()
+
+    def entries(self) -> List[Dict]:
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, encoding="utf-8") as stream:
+            return [json.loads(line) for line in stream if line.strip()]
+
+    def __len__(self) -> int:
+        return self._count
 
 
 # ----------------------------------------------------------------------
@@ -572,7 +728,7 @@ class ReplicationWriter:
                         kind=shipment.kind, first=shipment.first_seq,
                         end=shipment.end_seq):
             try:
-                faults.hit("replication.ship")
+                corrupted = faults.hit_corruptible("replication.ship")
             except InjectedFault:
                 # Lost in transit: the writer believes it sent, the
                 # replica never sees it -- the planted segment drop.
@@ -580,6 +736,12 @@ class ReplicationWriter:
                 get_registry().counter(
                     "replication.shipments_lost").inc()
                 return 0
+            if corrupted:
+                # Planted transit bit-rot: the payload CRC no longer
+                # matches, so the replica must NACK at apply time.
+                shipment = corrupt_shipment(shipment)
+                get_registry().counter(
+                    "replication.shipments_corrupted").inc()
             link.transport.send(shipment)
         get_registry().counter(counter).inc()
         return 1
@@ -770,11 +932,19 @@ class ReadReplica:
         """Copy one shipped snapshot-store file into the local spool.
 
         Atomic (temp + ``os.replace``) and idempotent: redelivery
-        rewrites identical bytes, and the file's own CRC-guarded header
-        is verified when the adopting checkpoint opens it.
+        rewrites identical bytes.  The blob's CRC-guarded header is
+        verified *before* the bytes land: a segment corrupted in
+        transit is NACKed here instead of poisoning the local spool.
         """
-        os.makedirs(self.store_root, exist_ok=True)
         file_name = shipment.meta["file"]
+        try:
+            verify_segment_blob(shipment.blob, context=file_name)
+        except StoreError as exc:
+            raise ShipmentIntegrityError(
+                f"replica {self.name!r} rejected store segment "
+                f"{file_name!r}: {exc}"
+            ) from exc
+        os.makedirs(self.store_root, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.store_root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as stream:
@@ -789,6 +959,20 @@ class ReadReplica:
 
     def _adopt_checkpoint(self, shipment: Shipment) -> None:
         seq = shipment.first_seq
+        # Verify BEFORE the blob lands: a checkpoint corrupted in
+        # transit must never reach disk, where it would silently
+        # poison the local generation ladder -- a later reload would
+        # fall back past it and regress the engine while the WAL
+        # position stayed forward.
+        try:
+            verify_checkpoint_blob(
+                shipment.blob, context=f"checkpoint seq {seq}"
+            )
+        except ValueError as exc:
+            raise ShipmentIntegrityError(
+                f"replica {self.name!r} rejected checkpoint at seq "
+                f"{seq}: {exc}"
+            ) from exc
         reload_needed = self.server is None or seq > self.next_seq
         self.manager.adopt_checkpoint(seq, shipment.blob)
         if reload_needed:
@@ -824,7 +1008,16 @@ class ReadReplica:
         position = self.next_seq
         records = []
         for line in shipment.lines:
-            seq, payload = _decode_record(line)  # CRC re-verified
+            try:
+                seq, payload = _decode_record(line)  # CRC re-verified
+            except ValueError as exc:
+                # Transit bit-rot: the record no longer matches its
+                # CRC (or no longer parses at all).  NACK the whole
+                # shipment -- nothing from it has been applied yet.
+                raise ShipmentIntegrityError(
+                    f"replica {self.name!r} rejected segment "
+                    f"[{shipment.first_seq}, {shipment.end_seq}): {exc}"
+                ) from exc
             if seq >= position:
                 records.append((seq, payload))
         if not records:
@@ -925,6 +1118,7 @@ class ReplicationCluster:
         exact_iterations: Optional[int] = None,
         until_convergence: bool = False,
         max_iterations: int = 1000,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if transport not in ("inproc", "directory"):
             raise ReplicationError(
@@ -934,6 +1128,15 @@ class ReplicationCluster:
         self.root = root
         self.algorithm_factory = algorithm_factory
         self.transport_kind = transport
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        self.dead_letters = DeadLetterLedger(
+            os.path.join(root, "dead_letter.jsonl")
+        )
+        #: Replica name -> finding detail while a scrub has its local
+        #: state quarantined; the query router skips these replicas.
+        self.integrity_quarantine: Dict[str, str] = {}
+        self.integrity_rejections = 0
         self._replica_kwargs = dict(
             exact_iterations=exact_iterations,
             until_convergence=until_convergence,
@@ -1004,31 +1207,59 @@ class ReplicationCluster:
         self.deliver()
         self.publish_gauges()
 
-    def sync(self) -> None:
-        """Final sync: seal, ship, deliver, then retransmit until no
-        live replica lags.
+    def sync(self) -> bool:
+        """Final sync: seal, ship, deliver, then retransmit under the
+        cluster's :class:`RetryPolicy` until no live replica lags.
 
-        The retransmit loop is the ack-timeout stand-in: a shipment
-        lost in transit advanced the writer's watermark but never
-        landed, and if it was the *last* shipment no later delivery
-        ever reveals the gap -- so a replica still lagging after a
-        full round gets its link rewound to its durable position.
+        A delivery round in which a lagging link made no progress
+        consumes one retry attempt for that link (the deterministic
+        ack-timeout stand-in: a shipment lost in transit advanced the
+        writer's watermark but never landed, and if it was the *last*
+        shipment no later delivery ever reveals the gap).  Attempts
+        reset whenever the link advances, so a slow-but-moving replica
+        is never abandoned.  A link that burns its whole budget has
+        its undelivered range recorded on the durable dead-letter
+        ledger and is left behind -- the writer never hangs on an
+        undeliverable replica.  Returns ``True`` when every live
+        replica converged.
         """
         self.replicate(final=True)
-        for _ in range(4):
+        policy = self.retry_policy
+        attempts: Dict[str, int] = {}
+        abandoned: set = set()
+        while True:
             writer_next = self.writer_node.next_seq
             lagging = [
                 (name, replica)
                 for name, replica in sorted(self.replicas.items())
-                if replica.alive
+                if replica.alive and name not in abandoned
                 and replica.lag_behind(writer_next) > 0
             ]
             if not lagging:
-                break
+                return not abandoned
+            before = {name: replica.next_seq
+                      for name, replica in lagging}
             for name, replica in lagging:
+                attempt = attempts.get(name, 0) + 1
+                if attempt > policy.max_attempts:
+                    self.dead_letters.record(
+                        link=name, first_seq=replica.next_seq,
+                        end_seq=writer_next,
+                        reason="retry budget exhausted",
+                        attempts=attempt - 1,
+                    )
+                    abandoned.add(name)
+                    continue
+                attempts[name] = attempt
+                delay = policy.backoff(attempt)
+                if delay:
+                    time.sleep(delay)
                 self.writer_node.resync(name, replica.next_seq)
             self.deliver()
             self.publish_gauges()
+            for name, replica in lagging:
+                if name not in abandoned and replica.next_seq > before[name]:
+                    attempts[name] = 0
 
     def deliver(self) -> None:
         for name in sorted(self.replicas):
@@ -1063,9 +1294,28 @@ class ReplicationCluster:
                 get_registry().counter(
                     "replication.deliveries_deferred").inc()
                 return
+            except ShipmentIntegrityError as exc:
+                # NACK: the shipment failed its CRC re-check.  Drop it
+                # and re-request the range from the writer; a link that
+                # keeps delivering garbage past the retry budget is
+                # dead-lettered instead of spinning forever.
+                attempts += 1
+                self.integrity_rejections += 1
+                get_registry().counter(
+                    "replication.shipments_rejected").inc()
+                if attempts > self.retry_policy.max_attempts:
+                    self.dead_letters.record(
+                        link=replica.name, first_seq=replica.next_seq,
+                        end_seq=self.writer_node.next_seq,
+                        reason=f"integrity budget exhausted: {exc}",
+                        attempts=attempts - 1,
+                    )
+                    raise
+                replica.discard_pending()
+                self.writer_node.resync(replica.name, replica.next_seq)
             except (ReplicationGapError, SegmentGapError):
                 attempts += 1
-                if attempts > 8:
+                if attempts > self.retry_policy.max_attempts:
                     raise
                 replica.discard_pending()
                 self.gap_resyncs += 1
@@ -1170,6 +1420,137 @@ class ReplicationCluster:
         return resilient
 
     # ------------------------------------------------------------------
+    # Integrity scrubbing (cluster mode)
+    # ------------------------------------------------------------------
+    def scrub(self, repair: bool = False) -> Dict:
+        """Scrub the writer's and every live replica's durable state.
+
+        ``repair=False`` detects and *quarantines*: a replica with any
+        finding is pulled from query routing
+        (:attr:`integrity_quarantine`) until a repair pass clears it.
+        ``repair=True`` heals: standalone repairs first (bit-for-bit
+        direction rebuild, covered-WAL garbage collection, checkpoint
+        sidelining -- :class:`~repro.recovery.scrub.IntegrityScrubber`),
+        then re-ships sidelined store generations from the writer, and
+        -- for damage only a fresh bootstrap can fix -- rebuilds the
+        replica from the writer wholesale.  Returns
+        ``{"writer": ScrubReport, "<replica>": ScrubReport, ...}``.
+        """
+        from repro.recovery.scrub import IntegrityScrubber
+
+        reports: Dict = {}
+        writer_scrubber = IntegrityScrubber(
+            self.writer_node.manager.directory
+        )
+        reports["writer"] = (writer_scrubber.repair() if repair
+                             else writer_scrubber.scan())
+        for name in sorted(self.replicas):
+            replica = self.replicas[name]
+            if not replica.alive:
+                continue
+            if repair:
+                report = self._repair_replica(name)
+            else:
+                report = IntegrityScrubber(
+                    replica.directory, store_root=replica.store_root
+                ).scan()
+            if report.ok or report.repaired:
+                self.integrity_quarantine.pop(name, None)
+            elif name not in self.integrity_quarantine:
+                unhealed = [finding for finding in report.findings
+                            if not finding.repaired]
+                self.integrity_quarantine[name] = unhealed[0].detail
+                get_registry().counter(
+                    "scrub.replicas_quarantined").inc()
+            reports[name] = report
+        self.publish_gauges()
+        return reports
+
+    def _repair_replica(self, name: str):
+        """Heal one replica, escalating through three repair tiers.
+
+        1. Standalone scrubber repair (direction rebuild works on a
+           replica's store spool exactly as on a writer's).
+        2. Re-ship from the writer: sidelined store generations are
+           restored by a resync -- the writer re-offers the newest
+           checkpoint plus its store files, and the replica's
+           idempotent file copies overwrite in place (the same-seq
+           checkpoint re-adopts without an engine reload).
+        3. Full rebuild: a corrupt record in the replica's WAL mirror
+           *above* its newest checkpoint cannot be repaired by
+           truncation -- that would rewind ``next_seq`` and re-apply
+           history into the live engine -- so the replica is wiped and
+           re-bootstrapped from the writer.
+        """
+        from repro.recovery.scrub import IntegrityScrubber
+
+        replica = self.replicas[name]
+        scrubber = IntegrityScrubber(replica.directory,
+                                     store_root=replica.store_root)
+        report = scrubber.repair()
+        if report.repaired:
+            return report
+        unrepaired = [finding for finding in report.findings
+                      if not finding.repaired]
+        if all(finding.kind == "store" for finding in unrepaired):
+            self.writer_node.resync(name, replica.next_seq)
+            self.deliver()
+            verify = IntegrityScrubber(
+                replica.directory, store_root=replica.store_root
+            ).scan(write_report=False)
+            if verify.ok:
+                for finding in unrepaired:
+                    finding.repaired = True
+                    finding.repair = (
+                        (finding.repair + "; " if finding.repair else "")
+                        + "re-shipped from writer"
+                    )
+                scrubber.write_report(report)
+                return report
+        self._rebuild_replica(name)
+        rebuilt = self.replicas[name]
+        verify = IntegrityScrubber(
+            rebuilt.directory, store_root=rebuilt.store_root
+        ).scan(write_report=False)
+        if verify.ok:
+            for finding in report.findings:
+                if not finding.repaired:
+                    finding.repaired = True
+                    finding.repair = "replica rebuilt from writer"
+        scrubber.write_report(report)
+        return report
+
+    def _rebuild_replica(self, name: str) -> ReadReplica:
+        """Wipe a replica's directory and re-bootstrap it from the
+        writer -- the repair of last resort.
+
+        The inbox transport object is retained (spool cursors and any
+        chaos wrapper survive); shipments still queued for the old
+        incarnation are drained first, bounded by ``pending()`` because
+        a chaos delay plan may keep returning ``None`` for a shipment
+        that is still queued.
+        """
+        old = self.replicas[name]
+        inbox = old.inbox
+        if old.alive:
+            old.close()
+        for _ in range(inbox.pending()):
+            if inbox.peek() is None:
+                break
+            inbox.ack()
+        shutil.rmtree(old.directory, ignore_errors=True)
+        replica = ReadReplica(
+            name, old.directory, self.algorithm_factory, inbox,
+            **self._replica_kwargs,
+        )
+        replica.fence(self.authority.epoch)
+        self.replicas[name] = replica
+        self.writer_node.resync(name, 0)
+        self.deliver()
+        get_registry().counter("replication.replicas_rebuilt").inc()
+        return replica
+
+    # ------------------------------------------------------------------
     # Observation surface
     # ------------------------------------------------------------------
     def max_lag(self) -> int:
@@ -1207,6 +1588,9 @@ class ReplicationCluster:
                 "next_seq": writer_next,
                 "links": self.writer_node.links(),
             },
+            "dead_letters": len(self.dead_letters),
+            "integrity_rejections": self.integrity_rejections,
+            "integrity_quarantine": dict(self.integrity_quarantine),
             "replicas": {
                 name: {
                     "alive": replica.alive,
@@ -1215,6 +1599,7 @@ class ReplicationCluster:
                     "fence_epoch": replica.fence_epoch,
                     "fence_rejections": replica.fence_rejections,
                     "inbox_pending": replica.inbox.pending(),
+                    "quarantined": name in self.integrity_quarantine,
                 }
                 for name, replica in sorted(self.replicas.items())
             },
@@ -1234,6 +1619,15 @@ class ReplicationCluster:
             self.max_lag()
         )
         registry.gauge("replication.epoch").set(self.authority.epoch)
+        registry.gauge("replication.dead_letter").set(
+            len(self.dead_letters)
+        )
+        registry.gauge("replication.integrity_rejections").set(
+            self.integrity_rejections
+        )
+        registry.gauge("replication.quarantined_replicas").set(
+            len(self.integrity_quarantine)
+        )
 
     def observe_replicas(self, emitter) -> None:
         """One wide event per replica (kind ``replica``) per call."""
@@ -1249,6 +1643,9 @@ class ReplicationCluster:
                 fence_rejections=replica.fence_rejections,
                 inbox_pending=replica.inbox.pending(),
                 epoch=self.authority.epoch,
+                dead_letters=len(self.dead_letters),
+                shipments_rejected=self.integrity_rejections,
+                quarantined=name in self.integrity_quarantine,
             )
 
     def close(self) -> None:
@@ -1298,12 +1695,34 @@ def replication_status(root: str) -> Dict:
             "newest_checkpoint": newest,
         }
 
+    def jsonl_count(path: str) -> int:
+        if not os.path.exists(path):
+            return 0
+        with open(path, encoding="utf-8") as stream:
+            return sum(1 for line in stream if line.strip())
+
+    def scrub_summary(directory: str) -> Optional[Dict]:
+        path = os.path.join(directory, "scrub-report.json")
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, encoding="utf-8") as stream:
+                data = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            return {"ok": False, "error": f"unreadable scrub report: {exc}"}
+        return {
+            "ok": bool(data.get("ok")),
+            "repaired": bool(data.get("repaired")),
+            "findings": len(data.get("findings", [])),
+        }
+
     epoch_path = os.path.join(root, "epoch.json")
     epoch = None
     if os.path.exists(epoch_path):
         with open(epoch_path, encoding="utf-8") as stream:
             epoch = int(json.load(stream)["epoch"])
     writer = position(root)
+    writer["scrub"] = scrub_summary(root)
     replicas = {}
     replicas_root = os.path.join(root, "replicas")
     if os.path.isdir(replicas_root):
@@ -1318,15 +1737,16 @@ def replication_status(root: str) -> Dict:
                     info["fence_epoch"] = int(json.load(stream)["epoch"])
             else:
                 info["fence_epoch"] = 0
-            ledger_path = os.path.join(directory, "fence_ledger.jsonl")
-            rejections = 0
-            if os.path.exists(ledger_path):
-                with open(ledger_path, encoding="utf-8") as stream:
-                    rejections = sum(1 for line in stream if line.strip())
-            info["fence_rejections"] = rejections
+            info["fence_rejections"] = jsonl_count(
+                os.path.join(directory, "fence_ledger.jsonl")
+            )
             info["lag_batches"] = max(
                 0, writer["next_seq"] - info["next_seq"]
             )
+            info["scrub"] = scrub_summary(directory)
             replicas[name] = info
     return {"root": root, "epoch": epoch, "writer": writer,
-            "replicas": replicas}
+            "replicas": replicas,
+            "dead_letters": jsonl_count(
+                os.path.join(root, "dead_letter.jsonl")
+            )}

@@ -138,6 +138,11 @@ class QueryRouter:
         for name, replica in self.cluster.replicas.items():
             if name in self._unhealthy:
                 continue
+            if name in self.cluster.integrity_quarantine:
+                # A scrub found damage in this replica's durable state;
+                # it must not serve reads until a repair pass clears it.
+                get_registry().counter("router.quarantine_skips").inc()
+                continue
             if not replica.alive or replica.server is None:
                 continue
             lag = replica.lag_behind(writer_next)

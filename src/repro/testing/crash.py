@@ -47,10 +47,15 @@ from repro.testing.oracle import compare_snapshots
 from repro.testing.workloads import Workload, generate_workload
 
 __all__ = [
+    "ChaosRound",
     "CrashFuzzOutcome",
     "CrashRound",
     "REPLICATION_SCENARIOS",
     "StorageRound",
+    "chaos_convergence_equivalence",
+    "chaos_convergence_sweep",
+    "chaos_dead_letter_round",
+    "chaos_fault_coverage",
     "crash_recovery_equivalence",
     "deterministic_site_sweep",
     "replicated_crash_equivalence",
@@ -718,6 +723,268 @@ def replicated_scenario_sweep(
         if round_.ok:
             shutil.rmtree(state_dir, ignore_errors=True)
     return results
+
+
+@dataclass
+class ChaosRound:
+    """One seeded lossy-transport convergence scenario."""
+
+    seed: int
+    workload: str
+    rate: float
+    replicas: int
+    batches: int = 0
+    faults: dict = field(default_factory=dict)
+    converged: bool = False
+    dead_letters: int = 0
+    scrub_repaired: bool = True
+    equivalent: bool = False
+    detail: str = ""
+    schedule: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.equivalent
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"MISMATCH ({self.detail})"
+        injected = sum(self.faults.get(kind, 0) for kind in
+                       ("drop", "duplicate", "corrupt", "reorder",
+                        "delay"))
+        return (
+            f"seed={self.seed} chaos@{self.rate:.0%} "
+            f"[{injected} fault(s): "
+            + " ".join(f"{kind}={self.faults.get(kind, 0)}"
+                       for kind in ("drop", "duplicate", "corrupt",
+                                    "reorder", "delay"))
+            + f", dead_letters={self.dead_letters}] {status}"
+        )
+
+
+def _fast_retry_policy():
+    """Keep fuzz rounds fast: real backoff shape, toy delays."""
+    from repro.serving.replication import RetryPolicy
+
+    return RetryPolicy(max_attempts=8, backoff_base=0.0001,
+                       backoff_factor=2.0, backoff_cap=0.002)
+
+
+def chaos_convergence_equivalence(
+    workload: Workload,
+    seed: int,
+    state_root: str,
+    rate: float = 0.1,
+    replicas: int = 3,
+    checkpoint_every: int = 2,
+    segment_records: int = 2,
+    scrub: bool = True,
+) -> ChaosRound:
+    """One chaos round: drive a replicated cluster over a transport
+    that drops, duplicates, corrupts, reorders, and delays shipments
+    (all five faults, each at ``rate``), then prove bit-for-bit
+    convergence.
+
+    Property under test: **replication converges under a hostile
+    network** -- the bounded :class:`~repro.serving.replication.
+    RetryPolicy`, sequence deduplication, gap resync, and CRC NACKs
+    together absorb every injected fault without the writer ever
+    hanging.  With ``scrub=True`` the round finishes with a
+    ``cluster.scrub(repair=True)`` pass and requires every report to
+    come back fully repaired (a corrupt checkpoint blob adopted in
+    place is invisible to the live engine but must not survive a
+    scrub).
+    """
+    from repro.serving.chaos import ChaosConfig, wrap_cluster
+    from repro.serving.replication import ReplicationCluster
+    from repro.serving.resilience import ResilientAnalyticsServer
+
+    profile = workload.profile
+    schedule = workload.schedule
+    expected = _uninterrupted_values(workload)
+    round_ = ChaosRound(
+        seed=seed, workload=workload.describe(), rate=rate,
+        replicas=replicas, batches=len(schedule),
+    )
+    manager = RecoveryManager(
+        state_root, checkpoint_every=checkpoint_every, retain=2,
+        segment_records=segment_records,
+    )
+    server = StreamingAnalyticsServer(
+        profile.factory, workload.build_graph(),
+        approx_iterations=APPROX_ITERATIONS, recovery=manager,
+    )
+    resilient = ResilientAnalyticsServer(
+        server, queue_capacity=len(schedule) + 2, admission="block",
+    )
+    cluster = ReplicationCluster(
+        resilient, profile.factory, state_root, replicas=replicas,
+        retry_policy=_fast_retry_policy(),
+    )
+    wrappers = wrap_cluster(
+        cluster, ChaosConfig.all_faults(seed=seed, rate=rate)
+    )
+    for batch in schedule:
+        cluster.submit(batch)
+        cluster.replicate()
+    # A reorder decision can hold the final shipment forever on a
+    # quiescing link; a real network eventually delivers or re-sends.
+    for wrapper in wrappers:
+        wrapper.flush()
+    round_.converged = cluster.sync()
+    for wrapper in wrappers:
+        for kind, count in wrapper.counts.items():
+            round_.faults[kind] = round_.faults.get(kind, 0) + count
+        round_.schedule.extend(wrapper.schedule)
+    round_.dead_letters = len(cluster.dead_letters)
+    if scrub:
+        reports = cluster.scrub(repair=True)
+        round_.scrub_repaired = all(
+            report.repaired for report in reports.values()
+        )
+    writer_values = np.asarray(
+        cluster.writer.approximate_values, dtype=np.float64
+    ).copy()
+    verdicts = [("writer", compare_snapshots(
+        writer_values, expected, tolerance=0.0))]
+    for name, replica in sorted(cluster.replicas.items()):
+        actual = np.asarray(replica.approximate_values,
+                            dtype=np.float64)
+        verdicts.append((name, compare_snapshots(
+            actual, expected, tolerance=0.0)))
+    lag = cluster.max_lag()
+    cluster.close()
+
+    for who, verdict in verdicts:
+        if verdict is not None:
+            kind, detail, _ = verdict
+            round_.detail = f"{who} diverged -- {kind}: {detail}"
+            break
+    else:
+        if not round_.converged:
+            round_.detail = (
+                f"final sync abandoned a replica "
+                f"({round_.dead_letters} dead letter(s))"
+            )
+        elif lag > 0:
+            round_.detail = f"replica(s) still lag by {lag} after sync"
+        elif not round_.scrub_repaired:
+            round_.detail = "post-chaos scrub left damage unrepaired"
+        else:
+            round_.equivalent = True
+    return round_
+
+
+def chaos_convergence_sweep(
+    seeds: Sequence[int] = range(5),
+    rate: float = 0.1,
+    replicas: int = 3,
+    state_root: Optional[str] = None,
+    emit: Callable[[str], None] = lambda _: None,
+) -> List[ChaosRound]:
+    """The acceptance gate for ``repro fuzz --crash --chaos``: every
+    seed converges bit-for-bit, and across the sweep every one of the
+    five fault kinds actually fired."""
+    root = state_root or tempfile.mkdtemp(prefix="chaos-sweep-")
+    results = []
+    for seed in seeds:
+        workload = _workload_with_batches(seed, minimum=4)
+        state_dir = os.path.join(root, f"seed_{seed}")
+        round_ = chaos_convergence_equivalence(
+            workload, seed, state_dir, rate=rate, replicas=replicas,
+        )
+        results.append(round_)
+        emit(round_.summary())
+        if round_.ok:
+            shutil.rmtree(state_dir, ignore_errors=True)
+    coverage = chaos_fault_coverage(results)
+    missing = [kind for kind, count in coverage.items() if count == 0]
+    if missing and results:
+        last = results[-1]
+        if last.equivalent:
+            last.equivalent = False
+            last.detail = (
+                f"fault kind(s) never fired across the sweep: "
+                f"{', '.join(missing)} -- raise the rate or add seeds"
+            )
+    emit("chaos coverage: " + " ".join(
+        f"{kind}={count}" for kind, count in sorted(coverage.items())
+    ))
+    return results
+
+
+def chaos_fault_coverage(rounds: Sequence[ChaosRound]) -> dict:
+    """Total injected faults per kind across a sweep."""
+    coverage = {kind: 0 for kind in
+                ("drop", "duplicate", "corrupt", "reorder", "delay")}
+    for round_ in rounds:
+        for kind in coverage:
+            coverage[kind] += round_.faults.get(kind, 0)
+    return coverage
+
+
+def chaos_dead_letter_round(
+    seed: int = 11,
+    state_root: Optional[str] = None,
+) -> ChaosRound:
+    """A link that drops *everything* must dead-letter, not hang.
+
+    One replica's transport swallows 100% of shipments; the final sync
+    must exhaust that link's retry budget, record the undelivered range
+    on the durable dead-letter ledger, return ``False`` -- and still
+    converge the healthy replica bit-for-bit.
+    """
+    from repro.serving.chaos import ChaosConfig, ChaosTransport
+    from repro.serving.replication import ReplicationCluster
+    from repro.serving.resilience import ResilientAnalyticsServer
+
+    workload = _workload_with_batches(seed, minimum=4)
+    root = state_root or tempfile.mkdtemp(prefix="chaos-dead-letter-")
+    expected = _uninterrupted_values(workload)
+    round_ = ChaosRound(
+        seed=seed, workload=workload.describe(), rate=1.0, replicas=2,
+        batches=len(workload.schedule),
+    )
+    manager = RecoveryManager(root, checkpoint_every=2, retain=2,
+                              segment_records=2)
+    server = StreamingAnalyticsServer(
+        workload.profile.factory, workload.build_graph(),
+        approx_iterations=APPROX_ITERATIONS, recovery=manager,
+    )
+    resilient = ResilientAnalyticsServer(
+        server, queue_capacity=len(workload.schedule) + 2,
+        admission="block",
+    )
+    cluster = ReplicationCluster(
+        resilient, workload.profile.factory, root, replicas=2,
+        retry_policy=_fast_retry_policy(),
+    )
+    black_hole = ChaosTransport(
+        cluster.replicas["r1"].inbox,
+        ChaosConfig(seed=seed, drop=1.0), name="r1",
+    )
+    cluster.replicas["r1"].inbox = black_hole
+    cluster.writer_node._links["r1"].transport = black_hole
+    for batch in workload.schedule:
+        cluster.submit(batch)
+        cluster.replicate()
+    round_.converged = cluster.sync()
+    round_.dead_letters = len(cluster.dead_letters)
+    round_.faults = dict(black_hole.counts)
+    round_.schedule = list(black_hole.schedule)
+    healthy = np.asarray(cluster.replicas["r0"].approximate_values,
+                         dtype=np.float64)
+    verdict = compare_snapshots(healthy, expected, tolerance=0.0)
+    cluster.close()
+    if round_.converged:
+        round_.detail = "sync claimed convergence through a black hole"
+    elif not round_.dead_letters:
+        round_.detail = "no dead letter recorded for the dead link"
+    elif verdict is not None:
+        kind, detail, _ = verdict
+        round_.detail = f"healthy replica diverged -- {kind}: {detail}"
+    else:
+        round_.equivalent = True
+    return round_
 
 
 def run_plant_fault(seed: int = 0,

@@ -17,6 +17,13 @@ either
   "killed" the process catches it, then recovers from disk the way a
   restarted process would.
 
+A third kind, ``corrupt``, does not raise at all: it asks the site to
+flip one deterministic byte of the payload it is about to write, ship,
+or read -- planted bit-rot.  Only the sites in :data:`CORRUPT_SITES`
+know how to do that (they call :func:`hit_corruptible` instead of
+:func:`hit` and act on its boolean), so arming ``corrupt`` anywhere
+else is rejected up front.
+
 Because firing is keyed on an exact hit count and nothing else, a
 ``(site, hit)`` pair replays deterministically: the same seeded
 workload crashes at the same instruction every time, which is what lets
@@ -35,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
+    "CORRUPT_SITES",
     "DURABLE_SITES",
     "FailpointRegistry",
     "FiredFailpoint",
@@ -44,8 +52,10 @@ __all__ = [
     "REPLICATION_SITES",
     "RESILIENCE_SITES",
     "STORAGE_SITES",
+    "flip_byte",
     "get_failpoints",
     "hit",
+    "hit_corruptible",
     "scoped_failpoints",
     "set_failpoints",
 ]
@@ -90,7 +100,14 @@ __all__ = [
 #: ``storage.segment_write`` before a snapshot-store segment temp file
 #:                       is renamed into place (crash = the process
 #:                       dies with a torn segment on disk; the
-#:                       previous manifest must stay readable).
+#:                       previous manifest must stay readable;
+#:                       corrupt = one payload byte is flipped after
+#:                       the CRC was computed -- planted bit-rot the
+#:                       scrubber must find);
+#: ``wal.segment_read``  when a sealed WAL segment's raw lines are read
+#:                       for shipping or scrubbing (corrupt = one byte
+#:                       of the read buffer is flipped, so the record
+#:                       CRC check downstream must reject it).
 KNOWN_SITES = (
     "wal.append",
     "wal.append.torn",
@@ -106,6 +123,7 @@ KNOWN_SITES = (
     "replication.receive",
     "replica.query",
     "storage.segment_write",
+    "wal.segment_read",
 )
 
 #: The sites exercised by a plain durable server (no admission layer).
@@ -125,9 +143,32 @@ REPLICATION_SITES = KNOWN_SITES[9:13]
 #: The sites only the snapshot-storage layer passes through (segment
 #: persistence under ``MmapStore``); ``storage_site_sweep`` in the
 #: crash fuzzer kills here and proves the previous manifest survives.
-STORAGE_SITES = KNOWN_SITES[13:]
+#: ``wal.segment_read`` is deliberately excluded -- it sits on a read
+#: path the crash sweeps never need to kill.
+STORAGE_SITES = KNOWN_SITES[13:14]
 
-_KINDS = ("crash", "fault")
+#: The sites that know how to corrupt a payload in place (they call
+#: :func:`hit_corruptible`); ``arm(kind="corrupt")`` is only legal
+#: here.
+CORRUPT_SITES = (
+    "replication.ship",
+    "storage.segment_write",
+    "wal.segment_read",
+)
+
+_KINDS = ("crash", "fault", "corrupt")
+
+
+def flip_byte(data: bytes, index: Optional[int] = None) -> bytes:
+    """``data`` with one bit of one byte flipped (the middle byte by
+    default) -- the canonical planted bit-rot mutation.  Empty input
+    is returned unchanged (there is nothing to corrupt)."""
+    if not data:
+        return data
+    if index is None:
+        index = len(data) // 2
+    index %= len(data)
+    return data[:index] + bytes([data[index] ^ 0x01]) + data[index + 1:]
 
 
 class InjectedFault(OSError):
@@ -188,6 +229,11 @@ class FailpointRegistry:
             )
         if kind not in _KINDS:
             raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        if kind == "corrupt" and site not in CORRUPT_SITES:
+            raise ValueError(
+                f"site {site!r} cannot corrupt its payload "
+                f"(choose from {list(CORRUPT_SITES)})"
+            )
         if hit < 1:
             raise ValueError("hit is 1-based and must be >= 1")
         self._plans[site] = _Plan(kind=kind, hit=hit, once=once)
@@ -212,23 +258,44 @@ class FailpointRegistry:
         self.hits.clear()
         self.fired.clear()
 
-    def hit(self, site: str) -> None:
-        """Record one pass through ``site``; raise if a plan says so."""
+    def _advance(self, site: str) -> Optional[str]:
+        """Bump ``site``'s counter; fire any due plan.
+
+        Crash and fault plans raise (exactly like they always have);
+        a corrupt plan returns ``"corrupt"`` so the caller can mutate
+        its payload in place.  Returns ``None`` when nothing fired.
+        """
         count = self.hits.get(site, 0) + 1
         self.hits[site] = count
         plan = self._plans.get(site)
         if plan is None or count < plan.hit:
-            return
+            return None
         if plan.once:
             del self._plans[site]
         elif count > plan.hit:
-            return
+            return None
         self.fired.append(FiredFailpoint(site=site, kind=plan.kind,
                                          hit_number=count))
         if plan.kind == "crash":
             raise InjectedCrash(site, count)
-        raise InjectedFault(f"injected transient fault at {site} "
-                            f"(hit {count})")
+        if plan.kind == "fault":
+            raise InjectedFault(f"injected transient fault at {site} "
+                                f"(hit {count})")
+        return "corrupt"
+
+    def hit(self, site: str) -> None:
+        """Record one pass through ``site``; raise if a plan says so."""
+        self._advance(site)
+
+    def hit_corruptible(self, site: str) -> bool:
+        """Like :meth:`hit`, but reports corrupt-plan firings.
+
+        Returns ``True`` when a ``corrupt`` plan fires on this pass --
+        the site must then flip one byte of its payload (usually via
+        :func:`flip_byte`).  Crash and fault plans raise exactly as
+        they do from :meth:`hit`.
+        """
+        return self._advance(site) == "corrupt"
 
 
 # ----------------------------------------------------------------------
@@ -263,3 +330,12 @@ def scoped_failpoints(registry: Optional[FailpointRegistry] = None):
 def hit(site: str) -> None:
     """The instrumentation call production code places at each site."""
     _FAILPOINTS.hit(site)
+
+
+def hit_corruptible(site: str) -> bool:
+    """The instrumentation call for sites that can corrupt a payload.
+
+    ``True`` means an armed ``corrupt`` plan fired: the caller must
+    flip one byte of whatever it is about to write, ship, or read.
+    """
+    return _FAILPOINTS.hit_corruptible(site)

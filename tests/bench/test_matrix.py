@@ -401,9 +401,14 @@ class TestReplicationAxis:
         table = load_table("replication")
         assert table.area == "replication"
         specs = expand(table)
-        # 3 replication plans x 2 admission policies.
-        assert len(specs) == 6
-        assert len({spec.run_id for spec in specs}) == 6
+        # 3 replication plans x 2 admission policies x 2 fault plans,
+        # minus the excluded off/chaos cells (chaos wraps replica
+        # links; nothing to wrap when replication is off).
+        assert len(specs) == 10
+        assert len({spec.run_id for spec in specs}) == 10
+        assert not any(spec.config["replication"] == "off"
+                       and spec.config["faults"] == "chaos"
+                       for spec in specs)
 
     def test_replication_implies_serving_and_reports_work(self,
                                                           tmp_path):

@@ -1,0 +1,319 @@
+"""Tests for chaos-hardened replication: the seeded lossy transport,
+the bounded retry/dead-letter shipping path, and the seq-consistency
+pins that make at-least-once delivery exactly-once in effect.
+
+The acceptance property stack:
+
+- :class:`ChaosTransport` is deterministic -- same seed, same link
+  name, same send sequence => bit-identical fault schedule;
+- each fault kind does what it says on the wire (drop swallows,
+  duplicate double-enqueues, corrupt flips a byte the CRC catches,
+  reorder swaps adjacent shipments, delay hides a shipment for N
+  polls);
+- a cluster under **all five faults at >= 10%** still converges
+  bit-for-bit with the uninterrupted oracle across >= 5 seeds, with
+  every fault kind actually fired at least once;
+- a black-hole link exhausts its retry budget into the durable
+  dead-letter ledger and ``sync()`` returns ``False`` instead of
+  hanging the writer, while healthy replicas still converge;
+- duplicated and reordered shipments are never double-applied (the
+  exactly-once pin);
+- a torn spool file is skipped, retried, and finally sidelined as
+  ``*.torn`` so later shipments can flow.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank
+from repro.graph.generators import rmat
+from repro.obs.registry import scoped_registry
+from repro.serving import (
+    ChaosConfig,
+    ChaosTransport,
+    DirectoryTransport,
+    InProcessTransport,
+    QueryRouter,
+    RetryPolicy,
+    Shipment,
+    replication_status,
+    wrap_cluster,
+)
+from repro.testing.crash import (
+    chaos_convergence_sweep,
+    chaos_dead_letter_round,
+    chaos_fault_coverage,
+)
+from tests.conftest import make_random_batch
+from tests.serving.test_replication import build_cluster, shadow_values
+
+
+@pytest.fixture
+def graph():
+    return rmat(scale=6, edge_factor=5, seed=29, weighted=True)
+
+
+def ship(index, lines=("payload",)):
+    return Shipment(kind="segment", epoch=1, index=index,
+                    first_seq=index, end_seq=index + 1, lines=lines)
+
+
+# ----------------------------------------------------------------------
+# ChaosTransport unit behavior
+# ----------------------------------------------------------------------
+class TestChaosConfig:
+    def test_all_faults_enables_every_kind(self):
+        config = ChaosConfig.all_faults(seed=7, rate=0.25)
+        assert config.any_enabled()
+        assert (config.drop, config.duplicate, config.corrupt,
+                config.reorder, config.delay) == (0.25,) * 5
+
+    def test_defaults_are_quiet(self):
+        assert not ChaosConfig(seed=7).any_enabled()
+
+
+class TestChaosTransport:
+    def run_plan(self, config, count=20):
+        link = ChaosTransport(InProcessTransport(), config, name="r0")
+        for index in range(count):
+            link.send(ship(index))
+        link.flush()
+        return link
+
+    def test_same_seed_same_schedule(self):
+        config = ChaosConfig.all_faults(seed=3, rate=0.3)
+        first = self.run_plan(config)
+        second = self.run_plan(config)
+        assert first.schedule == second.schedule
+        assert first.counts == second.counts
+        assert any(first.counts[kind] for kind in
+                   ("drop", "duplicate", "corrupt", "reorder", "delay"))
+
+    def test_different_link_names_draw_independently(self):
+        config = ChaosConfig.all_faults(seed=3, rate=0.3)
+        mine = self.run_plan(config)
+        link = ChaosTransport(InProcessTransport(), config, name="r1")
+        for index in range(20):
+            link.send(ship(index))
+        link.flush()
+        assert [entry["fault"] for entry in mine.schedule] != \
+            [entry["fault"] for entry in link.schedule]
+
+    def test_drop_swallows_the_shipment(self):
+        link = ChaosTransport(InProcessTransport(),
+                              ChaosConfig(seed=0, drop=1.0))
+        link.send(ship(0))
+        assert link.pending() == 0
+        assert link.counts["drop"] == 1
+
+    def test_duplicate_enqueues_twice(self):
+        link = ChaosTransport(InProcessTransport(),
+                              ChaosConfig(seed=0, duplicate=1.0))
+        link.send(ship(0))
+        assert link.pending() == 2
+        assert link.peek() == ship(0)
+        link.ack()
+        assert link.peek() == ship(0)
+
+    def test_corrupt_mutates_the_payload(self):
+        link = ChaosTransport(InProcessTransport(),
+                              ChaosConfig(seed=0, corrupt=1.0))
+        original = ship(0, lines=("abcdefgh",))
+        link.send(original)
+        delivered = link.peek()
+        assert delivered is not None
+        assert delivered != original
+        assert link.counts["corrupt"] == 1
+
+    def test_reorder_swaps_adjacent_shipments(self):
+        link = ChaosTransport(InProcessTransport(),
+                              ChaosConfig(seed=0, reorder=1.0))
+        link.send(ship(0))
+        # Held back: not visible downstream, but still "pending" from
+        # the writer's accounting (it was sent, not dropped).
+        assert link.inner.pending() == 0
+        assert link.pending() == 1
+        link.send(ship(1))
+        assert link.peek() == ship(1)
+        link.ack()
+        assert link.peek() == ship(0)
+
+    def test_flush_delivers_a_held_reorder(self):
+        link = ChaosTransport(InProcessTransport(),
+                              ChaosConfig(seed=0, reorder=1.0))
+        link.send(ship(0))
+        assert link.inner.pending() == 0
+        link.flush()
+        assert link.peek() == ship(0)
+
+    def test_delay_hides_for_exactly_delay_polls(self):
+        link = ChaosTransport(
+            InProcessTransport(),
+            ChaosConfig(seed=0, delay=1.0, delay_polls=2),
+        )
+        link.send(ship(0))
+        assert link.peek() is None
+        assert link.peek() is None
+        assert link.peek() == ship(0)
+        # Once surfaced it stays surfaced (the plan entry is spent).
+        assert link.peek() == ship(0)
+
+
+class TestRetryPolicy:
+    def test_first_attempt_has_no_backoff(self):
+        assert RetryPolicy().backoff(1) == 0.0
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(max_attempts=8, backoff_base=0.001,
+                             backoff_factor=2.0, backoff_cap=0.05,
+                             jitter_seed=42)
+        twin = RetryPolicy(max_attempts=8, backoff_base=0.001,
+                           backoff_factor=2.0, backoff_cap=0.05,
+                           jitter_seed=42)
+        for attempt in range(1, 16):
+            delay = policy.backoff(attempt)
+            assert delay == twin.backoff(attempt)
+            assert 0.0 <= delay <= 0.05
+
+    def test_jitter_seed_changes_the_schedule(self):
+        a = RetryPolicy(jitter_seed=1)
+        b = RetryPolicy(jitter_seed=2)
+        assert any(a.backoff(n) != b.backoff(n) for n in range(2, 8))
+
+
+# ----------------------------------------------------------------------
+# Torn spool files (DirectoryTransport regression)
+# ----------------------------------------------------------------------
+class TestTornSpool:
+    def test_torn_file_is_skipped_then_sidelined(self, tmp_path):
+        spool = str(tmp_path / "inbox")
+        os.makedirs(spool)
+        # A producer without our atomic write discipline tore this
+        # write mid-flight; it sorts before the healthy shipment.
+        torn = os.path.join(spool, "ship-000000000000.json")
+        with open(torn, "w", encoding="utf-8") as stream:
+            stream.write('{"kind": "segme')
+        link = DirectoryTransport(spool)
+        link.send(ship(7))
+        with scoped_registry() as registry:
+            # Skip-and-retry: the first TORN_RETRIES - 1 polls report
+            # an empty inbox rather than crashing the poll loop.
+            assert link.peek() is None
+            assert link.peek() is None
+            # Third strike: sidelined as *.torn, later traffic flows.
+            assert link.peek() == ship(7)
+            assert registry.counter(
+                "replication.torn_spool_skips").value == 3
+            assert registry.counter(
+                "replication.torn_spool_dropped").value == 1
+        assert not os.path.exists(torn)
+        assert os.path.exists(torn + ".torn")
+        link.ack()
+        assert link.pending() == 0
+
+    def test_intact_spool_resets_the_streak(self, tmp_path):
+        spool = str(tmp_path / "inbox")
+        link = DirectoryTransport(spool)
+        link.send(ship(0))
+        # One transient bad read must not accumulate toward sidelining
+        # across unrelated files.
+        assert link.peek() == ship(0)
+        assert link._torn_streak == 0
+
+
+# ----------------------------------------------------------------------
+# Exactly-once pins: duplicates and reorders never double-apply
+# ----------------------------------------------------------------------
+class TestExactlyOnce:
+    @pytest.mark.parametrize("config_kwargs", [
+        {"duplicate": 1.0},
+        {"reorder": 1.0},
+        {"duplicate": 1.0, "reorder": 0.5},
+    ])
+    def test_no_double_apply(self, graph, rng, tmp_path, config_kwargs):
+        cluster = build_cluster(graph, tmp_path, replicas=2)
+        wrappers = wrap_cluster(
+            cluster, ChaosConfig(seed=5, **config_kwargs)
+        )
+        batches = [make_random_batch(graph, rng, 8, 8)
+                   for _ in range(6)]
+        for batch in batches:
+            cluster.submit(batch)
+            cluster.replicate()
+        for wrapper in wrappers:
+            wrapper.flush()
+        assert cluster.sync()
+        if "duplicate" in config_kwargs:
+            assert sum(w.counts["duplicate"] for w in wrappers) > 0
+        if config_kwargs.get("reorder") == 1.0:
+            assert sum(w.counts["reorder"] for w in wrappers) > 0
+        expected = shadow_values(graph, batches)
+        assert np.array_equal(cluster.writer.approximate_values,
+                              expected)
+        for name, replica in cluster.replicas.items():
+            assert np.array_equal(replica.approximate_values,
+                                  expected), name
+        assert cluster.max_lag() == 0
+        cluster.close()
+
+
+# ----------------------------------------------------------------------
+# The acceptance gates: chaos sweep + dead-letter non-hang
+# ----------------------------------------------------------------------
+class TestChaosConvergence:
+    def test_sweep_converges_across_five_seeds(self, tmp_path):
+        rounds = chaos_convergence_sweep(
+            seeds=range(5), rate=0.1, replicas=3,
+            state_root=str(tmp_path),
+        )
+        assert len(rounds) == 5
+        for round_ in rounds:
+            assert round_.ok, round_.summary()
+            assert round_.dead_letters == 0
+        coverage = chaos_fault_coverage(rounds)
+        assert all(count > 0 for count in coverage.values()), coverage
+        # The applied schedule is recorded for CI artifact upload.
+        assert any(round_.schedule for round_ in rounds)
+
+    def test_black_hole_dead_letters_instead_of_hanging(self, tmp_path):
+        round_ = chaos_dead_letter_round(state_root=str(tmp_path))
+        assert round_.ok, round_.summary()
+        assert not round_.converged
+        assert round_.dead_letters >= 1
+        # The ledger is durable JSONL, one entry per abandoned range,
+        # and the observation surface exposes its size.
+        ledger = tmp_path / "dead_letter.jsonl"
+        assert ledger.exists()
+        entries = [json.loads(line) for line in
+                   ledger.read_text().splitlines() if line]
+        assert len(entries) == round_.dead_letters
+        assert all(entry["link"] == "r1" for entry in entries)
+        assert all(entry["attempts"] >= 1 for entry in entries)
+        status = replication_status(str(tmp_path))
+        assert status["dead_letters"] == round_.dead_letters
+
+
+# ----------------------------------------------------------------------
+# Routing composes with integrity quarantine
+# ----------------------------------------------------------------------
+class TestRouterQuarantine:
+    def test_quarantined_replica_serves_no_reads(self, graph, rng,
+                                                 tmp_path):
+        cluster = build_cluster(graph, tmp_path, replicas=2)
+        for _ in range(3):
+            cluster.submit(make_random_batch(graph, rng, 6, 6))
+            cluster.replicate()
+        cluster.sync()
+        router = QueryRouter(cluster)
+        assert set(router.candidates()) == {"r0", "r1"}
+        with scoped_registry() as registry:
+            cluster.integrity_quarantine["r0"] = "scrub found damage"
+            assert router.candidates() == ["r1"]
+            assert registry.counter(
+                "router.quarantine_skips").value == 1
+        cluster.integrity_quarantine.clear()
+        assert set(router.candidates()) == {"r0", "r1"}
+        cluster.close()
